@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures at the scaled
+configuration (DESIGN.md).  A single session-scoped
+:class:`ExperimentRunner` is shared so simulation points common to
+several figures (e.g. the 1 MB-LLC baselines used by Figs. 11, 12, 14,
+and 16) are simulated exactly once per benchmark session.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(verbose=True)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Benches for the extension experiments (not paper figures)."""
+
+from repro.experiments.dynamic_orientation import run_dynamic_orientation
+from repro.experiments.energy import run_energy
+
+from conftest import run_once
+
+
+def test_energy(benchmark, runner):
+    """MDA designs save memory energy by replacing row activations
+    with denser column accesses (paper Section III's power argument)."""
+    result = run_once(benchmark, run_energy, runner)
+    print("\n" + result.report())
+    for design in ("1P2L", "1P2L_SameSet", "2P2L"):
+        assert result.average_normalized(design) < 1.0
+    # Raw activation counts can go either way per workload (column
+    # accesses alternate a bank's two buffers); the energy win must
+    # still show a clear activation drop somewhere.
+    drops = [result.activations["1P1L"][w]
+             - result.activations["1P2L"][w]
+             for w in result.baseline]
+    assert max(drops) > 0
+
+
+def test_dynamic_orientation(benchmark):
+    """Annotation-free prediction recovers fill traffic but not cycles
+    — the documented negative result (EXPERIMENTS.md)."""
+    result = run_once(benchmark, run_dynamic_orientation)
+    print("\n" + result.report())
+    # Fill traffic strictly improves on at least one kernel, and never
+    # gets catastrophically worse.
+    assert result.fill_reduction() < 1.05
+    assert any(result.l1_fills["1P2L_Dyn"][w]
+               < result.l1_fills["1P2L"][w]
+               for w in result.workloads)
+    # Cycles stay within 2x of the static annotation baseline.
+    assert result.prediction_payoff() < 2.0

@@ -1,0 +1,21 @@
+"""Bench: Fig. 10 — access orientation/size distribution.
+
+Paper shape: every benchmark exercises column preference; columns are
+roughly 40% of access volume on average.
+"""
+
+from repro.experiments.fig10 import run_fig10
+
+from conftest import run_once
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, run_fig10)
+    print("\n" + result.report())
+    for size in ("small", "large"):
+        for workload in result.mixes:
+            assert result.column_fraction(workload, size) > 0, \
+                f"{workload}/{size} shows no column preference"
+        average = result.average_column_fraction(size)
+        # Paper: ~40% of data volume; accept a generous band.
+        assert 0.2 < average < 0.8

@@ -1,0 +1,32 @@
+"""Bench: Fig. 11 — L1 hit rates normalized to 1P1L (1 MB LLC, large).
+
+Paper shape: 1P2L does not beat the baseline on every benchmark, but
+gains exist; our vector-granularity op mix widens the spread (see
+EXPERIMENTS.md), so the assertions check sanity bands and the
+"not uniform" property rather than the paper's exact +12%/+18%.
+"""
+
+from repro.experiments.fig11 import DESIGNS, run_fig11
+
+from conftest import run_once
+
+
+def test_fig11(benchmark, runner):
+    result = run_once(benchmark, run_fig11, runner)
+    print("\n" + result.report())
+    for workload, rate in result.baseline.items():
+        assert 0.0 <= rate <= 1.0
+    for design in DESIGNS:
+        avg = result.average_normalized(design)
+        # Paper: +12%/+18% average.  Our scaled L1 has far fewer sets,
+        # so the baseline's power-of-two column walks thrash harder
+        # and the normalized gains are amplified (EXPERIMENTS.md);
+        # the direction (>= 1 on average) must still hold.
+        assert 1.0 <= avg < 8.0
+    # Paper: "1P2L does not guarantee a better L1 hit rate than 1P1L
+    # for all benchmarks" — the per-benchmark ratios are not uniform.
+    ratios = [result.normalized_rate("1P2L", w)
+              for w in result.baseline]
+    assert max(ratios) > min(ratios)
+    # At least one benchmark improves its L1 hit rate under MDA.
+    assert any(r > 1.0 for r in ratios)

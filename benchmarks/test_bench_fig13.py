@@ -1,0 +1,24 @@
+"""Bench: Fig. 13 — cache-resident working set (small input, L2-as-LLC).
+
+Paper shape: gains persist but are much smaller than the non-resident
+case (paper: ~14% for 1P2L, ~16% for 2P2L vs 64%+ non-resident),
+because only the L1<->L2 bandwidth reduction remains.
+"""
+
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import DESIGNS, run_fig13
+
+from conftest import run_once
+
+
+def test_fig13(benchmark, runner):
+    result = run_once(benchmark, run_fig13, runner)
+    print("\n" + result.report())
+    for design in DESIGNS:
+        avg = result.average_normalized(design)
+        assert avg < 1.0, f"{design} loses on average when resident"
+    # Resident gains are smaller than the non-resident 1 MB gains.
+    nonresident = run_fig12(runner, llc_points=(1.0,))
+    for design in DESIGNS:
+        assert result.average_normalized(design) > \
+            nonresident.average_normalized(1.0, design)

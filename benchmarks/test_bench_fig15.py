@@ -1,0 +1,26 @@
+"""Bench: Fig. 15 — column-line occupancy over time (sgemm, ssyrk).
+
+Paper shape: sgemm's L1 column occupancy stays low and roughly stable
+("only a few of those columns are present in the cache at a time");
+ssyrk's occupancy rises and then falls as the trailing row-oriented
+nest takes over.
+"""
+
+from repro.experiments.fig15 import run_fig15
+
+from conftest import run_once
+
+
+def test_fig15(benchmark, runner):
+    result = run_once(benchmark, run_fig15, runner)
+    print("\n" + result.report())
+    ssyrk_llc = result.series["ssyrk"]["L3"]
+    assert ssyrk_llc.peak() > 0.3
+    assert ssyrk_llc.final() < ssyrk_llc.peak()
+
+    sgemm_l1 = result.series["sgemm"]["L1"]
+    values = sgemm_l1.values()
+    assert values, "no sgemm occupancy samples"
+    # Stable: the middle half of the run stays within a narrow band.
+    middle = values[len(values) // 4: 3 * len(values) // 4 + 1]
+    assert max(middle) - min(middle) < 0.4

@@ -1,0 +1,19 @@
+"""Bench: Fig. 16 — 2P2L write-latency asymmetry sensitivity.
+
+Paper shape: +20-cycle writes cost the 2P2L design only ~0.4% of
+baseline on average; the trend versus the baseline does not change.
+"""
+
+from repro.experiments.fig16 import run_fig16
+
+from conftest import run_once
+
+
+def test_fig16(benchmark, runner):
+    result = run_once(benchmark, run_fig16, runner)
+    print("\n" + result.report())
+    gap = result.asymmetry_gap()
+    assert gap >= -0.01, "slow writes should not speed 2P2L up"
+    assert gap < 0.05, f"asymmetry gap {gap:.3f} too large"
+    # The trend vs baseline is unchanged: slow-write 2P2L still wins.
+    assert result.average_normalized("2P2L_SlowWrite") < 1.0

@@ -1,0 +1,22 @@
+"""Bench: Section X future work — hardware-software collaborative tiling.
+
+Not a paper figure: this regenerates the paper's *expectation* that
+tiling the iteration space to (a multiple of) the 2-D block size beats
+software tiling or hardware tiling alone.
+"""
+
+from repro.experiments.future_tiling import run_future_tiling
+
+from conftest import run_once
+
+
+def test_future_tiling(benchmark):
+    result = run_once(benchmark, run_future_tiling)
+    print("\n" + result.report())
+    # Tiling must help both 2-D designs at the non-resident size.
+    assert result.average_normalized("2P2L+tiling") < \
+        result.average_normalized("2P2L")
+    assert result.average_normalized("1P2L+tiling") < \
+        result.average_normalized("1P2L")
+    # The paper's expectation: the collaborative point is the best.
+    assert result.collaborative_wins()

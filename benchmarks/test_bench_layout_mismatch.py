@@ -1,0 +1,21 @@
+"""Bench: Section IV-C layout-mismatch note.
+
+The paper reports ~2x average slowdown for a 1P1L hierarchy on a
+2-D-optimized layout.  As documented in EXPERIMENTS.md, the penalty's
+sources (power-of-two padding conflicts, broken long-stream
+vectorization) sit below this trace model's resolution, so the bench
+records the measured ratio and asserts only that the experiment runs
+and actually changes behavior.
+"""
+
+from repro.experiments.layout_mismatch import run_layout_mismatch
+
+from conftest import run_once
+
+
+def test_layout_mismatch(benchmark):
+    result = run_once(benchmark, run_layout_mismatch)
+    print("\n" + result.report())
+    assert result.average_slowdown() > 0
+    for workload in result.matched:
+        assert result.matched[workload] != result.mismatched[workload]

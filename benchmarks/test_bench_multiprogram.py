@@ -1,0 +1,21 @@
+"""Bench: Section IX-B extension — multiprogrammed workloads.
+
+Checks the paper's two multiprogram expectations on 2-core pairs:
+the MDA benefit survives co-location, and multiple sub-row buffers —
+worth <1% single-threaded (see `test_bench_ablations`) — become
+clearly beneficial under interleaved row-buffer pressure.
+"""
+
+from repro.experiments.multiprogram import run_multiprogram
+
+from conftest import run_once
+
+
+def test_multiprogram(benchmark):
+    result = run_once(benchmark, run_multiprogram)
+    print("\n" + result.report())
+    for design in ("1P2L", "2P2L"):
+        assert result.average_normalized(design) < 1.0
+    # Sub-buffers matter here (paper: "very useful for multiprogrammed
+    # workloads"), unlike the <5% single-thread bound.
+    assert result.average_sub_buffer_gain() > 1.05

@@ -1,0 +1,13 @@
+"""Bench: Table I — experimental setup dump."""
+
+from repro.experiments.table1 import run_table1
+
+from conftest import run_once
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    report = result.report()
+    print("\n" + report)
+    assert "L1 D-cache" in report
+    assert "Everspin" in report or "act" in report

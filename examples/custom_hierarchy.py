@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Building a system configuration by hand.
+
+The design points in ``repro.core.system`` cover the paper, but every
+knob is an ordinary dataclass field.  This example assembles a custom
+hybrid: a dynamic-orientation 1P2L L1 over a *dense*-fill 2P2L LLC with
+asymmetric writes, on a fast 8-channel memory with 2 sub-buffers per
+bank — then compares it against the stock design points on a custom
+kernel.
+"""
+
+from repro.common.config import (
+    CacheLevelConfig,
+    CpuConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+from repro.workloads.registry import build_workload
+
+
+def custom_system() -> SystemConfig:
+    l1 = CacheLevelConfig(
+        name="L1", size_bytes=4 * 1024, assoc=4,
+        tag_latency=2, data_latency=2, sequential_tag_data=False,
+        logical_dims=2, physical_dims=1,
+        dynamic_orientation=True,        # Section IV-C extension
+    )
+    l2 = CacheLevelConfig(
+        name="L2", size_bytes=8 * 1024, assoc=8,
+        tag_latency=6, data_latency=9,
+        logical_dims=2, physical_dims=1,
+    )
+    llc = CacheLevelConfig(
+        name="L3", size_bytes=32 * 1024, assoc=8,
+        tag_latency=8, data_latency=14,
+        logical_dims=2, physical_dims=2,
+        sparse_fill=False,               # dense 2-D block fill
+        write_extra_latency=10,          # mild NVM write asymmetry
+    )
+    memory = MemoryConfig(channels=8, sub_buffers=2).faster(1.3)
+    return SystemConfig(levels=[l1, l2, llc], memory=memory,
+                        cpu=CpuConfig(mlp_window=24),
+                        name="custom-hybrid")
+
+
+def main() -> None:
+    program = build_workload("covariance", "small")
+    print(f"Workload: {program.name} "
+          f"({', '.join(n.name for n in program.nests)})\n")
+    rows = []
+    for label, system in (
+            ("1P1L stock", make_system("1P1L", 2.0)),
+            ("1P2L stock", make_system("1P2L", 2.0)),
+            ("2P2L stock", make_system("2P2L", 2.0)),
+            ("custom hybrid", custom_system())):
+        result = run_simulation(system, program=program)
+        rows.append((label, result.cycles, result.memory_bytes()))
+    base = rows[0][1]
+    print(f"{'system':<14} {'cycles':>9} {'normalized':>11} "
+          f"{'mem bytes':>10}")
+    for label, cycles, mem in rows:
+        print(f"{label:<14} {cycles:>9} {cycles / base:>11.3f} "
+              f"{mem:>10}")
+    print("\nEvery field above is a validated dataclass knob — see "
+          "docs/API.md and\nrepro.common.config for the full list.")
+
+
+if __name__ == "__main__":
+    main()

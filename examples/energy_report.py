@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Energy accounting and machine-readable reporting.
+
+Runs one column-affine kernel (the analytic HTAP workload) on the
+baseline and on MDACache, prints each run's per-component energy
+breakdown, and emits the head-to-head comparison as JSON — the
+artifacts a downstream evaluation pipeline would archive.
+"""
+
+import json
+
+from repro.core.energy import energy_of_run
+from repro.core.report import comparison_to_dict, run_to_dict
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+
+
+def main() -> None:
+    baseline = run_simulation(make_system("1P1L"), workload="htap1",
+                              size="small")
+    mdacache = run_simulation(make_system("1P2L"), workload="htap1",
+                              size="small")
+
+    for label, result in (("1P1L baseline", baseline),
+                          ("1P2L MDACache", mdacache)):
+        print(f"--- {label}: memory-system energy breakdown ---")
+        print(energy_of_run(result).report())
+        print()
+
+    comparison = comparison_to_dict(baseline, mdacache)
+    print("--- head-to-head (JSON) ---")
+    print(json.dumps(comparison, indent=2, sort_keys=True))
+
+    saved = 100 * (1 - comparison["energy_ratio"])
+    print(f"\nMDACache saves {saved:.1f}% of memory-system energy on "
+          f"this workload by replacing\nstrided row activations with "
+          f"dense column accesses (paper Section III).")
+    print("\nFull run records (run_to_dict) can be dumped the same "
+          "way; try:\n  python -m repro run 1P2L htap1 --json")
+    _ = run_to_dict  # referenced above; silences linters
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""HTAP scenario: one table serving transactions and analytics.
+
+The paper's Section V-A motivates MDA caching with column-IO databases:
+"Providing similar cost accesses to both row and column access patterns
+would allow for greater flexibility...".  This example builds a custom
+hybrid workload — row-oriented order inserts plus column-oriented
+revenue aggregation over the same table — and compares how each cache
+design handles it, including the per-direction memory-buffer behavior.
+"""
+
+from repro.common.types import Orientation
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+from repro.sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+
+ROWS, COLS = 192, 32  # orders x attributes
+
+
+def build_order_table_workload() -> Program:
+    table = ArrayDecl("Orders", ROWS, COLS)
+    # OLTP: insert/update a third of the orders (full-row writes).
+    inserts = LoopNest(
+        name="order_inserts",
+        loops=[Loop.over("t", ROWS // 3), Loop.over("w", COLS)],
+        refs=[
+            ArrayRef(table, Affine.of("t", coeff=3, const=1),
+                     Affine.of("w"), is_write=True),
+        ],
+    )
+    # OLAP: aggregate three measure columns with a predicate column.
+    aggregate = LoopNest(
+        name="revenue_scan",
+        loops=[Loop.over("q", 3), Loop.over("r", ROWS)],
+        refs=[
+            ArrayRef(table, Affine.of("r"), Affine.constant(0)),
+            ArrayRef(table, Affine.of("r"),
+                     Affine.of("q", coeff=4, const=2)),
+        ],
+    )
+    return Program("order_htap", [table], [inserts, aggregate])
+
+
+def main() -> None:
+    program = build_order_table_workload()
+    print(f"HTAP order table: {ROWS} rows x {COLS} attributes, "
+          f"row inserts + column aggregation\n")
+    header = (f"{'design':<14} {'cycles':>10} {'mem bytes':>10} "
+              f"{'row buf hits':>13} {'col buf hits':>13}")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for design in ("1P1L", "1P2L", "1P2L_SameSet", "2P2L"):
+        result = run_simulation(make_system(design), program=program)
+        results[design] = result
+        banks = result.stats.group("memory.banks")
+        print(f"{design:<14} {result.cycles:>10} "
+              f"{result.memory_bytes():>10} "
+              f"{banks.get('row_buffer_hits'):>13} "
+              f"{banks.get('col_buffer_hits'):>13}")
+
+    base = results["1P1L"]
+    best = min(results.values(), key=lambda r: r.cycles)
+    print(f"\nBest design: {best.system.name.split('@')[0]} at "
+          f"{100 * (1 - best.cycles / base.cycles):.1f}% less time "
+          f"than the baseline.")
+    print("The column aggregation runs as column-vector accesses on "
+          "the MDA designs\n(one buffer operation per 8 rows) instead "
+          "of the baseline's strided scalar walk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Matrix transpose: the canonical mixed-orientation kernel.
+
+``B = A'`` must read one matrix along rows and write the other along
+columns (or vice versa) — on a conventional hierarchy one of the two
+always loses.  This example writes the kernel both ways, shows that the
+compiler annotates the opposite orientations, and demonstrates that the
+MDA hierarchy makes the loop-order choice nearly irrelevant — the
+paper's point that MDA support can "obviate the need for some ambiguous
+compiler tradeoffs" (Section I).
+"""
+
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+from repro.sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+
+N = 48
+
+
+def build_transpose(row_major_reads: bool) -> Program:
+    a = ArrayDecl("A", N, N)
+    b = ArrayDecl("B", N, N)
+    if row_major_reads:
+        # Innermost j: read A row-wise, write B column-wise.
+        refs = [ArrayRef(a, Affine.of("i"), Affine.of("j")),
+                ArrayRef(b, Affine.of("j"), Affine.of("i"),
+                         is_write=True)]
+        name = "transpose_read_rows"
+    else:
+        # Innermost j: read A column-wise, write B row-wise.
+        refs = [ArrayRef(a, Affine.of("j"), Affine.of("i")),
+                ArrayRef(b, Affine.of("i"), Affine.of("j"),
+                         is_write=True)]
+        name = "transpose_read_cols"
+    nest = LoopNest(name, [Loop.over("i", N), Loop.over("j", N)], refs)
+    return Program(name, [a, b], [nest])
+
+
+def main() -> None:
+    print(f"Transposing a {N}x{N} matrix, both loop orientations:\n")
+    header = (f"{'kernel':<22} {'design':<8} {'cycles':>9} "
+              f"{'mem bytes':>10}")
+    print(header)
+    print("-" * len(header))
+    cycles = {}
+    for row_major_reads in (True, False):
+        program = build_transpose(row_major_reads)
+        for design in ("1P1L", "1P2L"):
+            result = run_simulation(make_system(design),
+                                    program=program)
+            cycles[(program.name, design)] = result.cycles
+            print(f"{program.name:<22} {design:<8} "
+                  f"{result.cycles:>9} {result.memory_bytes():>10}")
+
+    def spread(design: str) -> float:
+        a = cycles[("transpose_read_rows", design)]
+        b = cycles[("transpose_read_cols", design)]
+        return max(a, b) / min(a, b)
+
+    print(f"\nLoop-order sensitivity (worse/better ratio): "
+          f"1P1L {spread('1P1L'):.2f}x vs 1P2L {spread('1P2L'):.2f}x")
+    print("With MDA caching both orientations cost about the same — "
+          "the compiler no longer\nhas to guess the right loop order "
+          "or insert an explicit transpose.")
+
+
+if __name__ == "__main__":
+    main()

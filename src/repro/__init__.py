@@ -1,0 +1,60 @@
+"""MDACache reproduction: caching for Multi-Dimensional-Access memories.
+
+A trace-driven reproduction of *MDACache: Caching for
+Multi-Dimensional-Access Memories* (George, Liao, et al., MICRO 2018):
+an MDA (crosspoint) main-memory model with row *and* column buffers, the
+1P1L / 1P2L / 2P2L cache taxonomy, the compiler model (direction
+analysis, MDA-compliant tiled layout, row+column vectorization), the
+paper's seven benchmarks, and one experiment module per evaluation
+table/figure.
+
+Quickstart::
+
+    from repro import make_system, run_simulation
+
+    base = run_simulation(make_system("1P1L"), workload="sgemm")
+    mda = run_simulation(make_system("1P2L"), workload="sgemm")
+    print(mda.cycles / base.cycles)   # the paper's headline win
+"""
+
+from .common import (
+    AccessWidth,
+    CacheLevelConfig,
+    CpuConfig,
+    MemoryConfig,
+    Orientation,
+    PrefetcherConfig,
+    Request,
+    SystemConfig,
+)
+from .core import (
+    DESIGN_NAMES,
+    RunResult,
+    make_resident_system,
+    make_system,
+    run_simulation,
+)
+from .sw import generate_trace, trace_mix
+from .workloads import build_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessWidth",
+    "CacheLevelConfig",
+    "CpuConfig",
+    "DESIGN_NAMES",
+    "MemoryConfig",
+    "Orientation",
+    "PrefetcherConfig",
+    "Request",
+    "RunResult",
+    "SystemConfig",
+    "build_workload",
+    "generate_trace",
+    "make_resident_system",
+    "make_system",
+    "run_simulation",
+    "trace_mix",
+    "workload_names",
+]

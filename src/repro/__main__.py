@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``       — designs, workloads, and experiments available.
+* ``run``        — simulate one workload on one design and print stats.
+* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``sweep``      — normalized cycles for every design at one LLC point.
+* ``trace``      — generate a trace file from a workload, or replay a
+  trace file through a design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.simulator import run_simulation
+from .core.system import DESIGN_NAMES, LLC_SIZES, make_system
+from .workloads.registry import workload_names
+
+_EXPERIMENTS = ("table1", "fig10", "fig11", "fig12", "fig13", "fig14",
+                "fig15", "fig16", "fig17", "layout_mismatch",
+                "future_tiling", "energy", "dynamic_orientation",
+                "multiprogram", "run_all")
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("designs:    ", ", ".join(DESIGN_NAMES))
+    print("workloads:  ", ", ".join(workload_names()))
+    print("llc points: ", ", ".join(f"{mb}MB" for mb in
+                                    sorted(LLC_SIZES)))
+    print("experiments:", ", ".join(_EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system = make_system(args.design, args.llc)
+    result = run_simulation(system, workload=args.workload,
+                            size=args.size)
+    if args.json:
+        from .core.report import run_to_dict
+        import json as _json
+        print(_json.dumps(run_to_dict(result, args.stats), indent=2,
+                          sort_keys=True))
+        return 0
+    print(result.describe())
+    print(f"LLC requests: {result.llc_requests()}, memory bytes: "
+          f"{result.memory_bytes()}")
+    if args.stats:
+        print()
+        print(result.stats.report())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+    if args.name not in _EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; known: "
+              f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    baseline = run_simulation(make_system("1P1L", args.llc),
+                              workload=args.workload, size=args.size)
+    print(f"{args.workload} ({args.size}), LLC {args.llc}MB — "
+          f"normalized to 1P1L ({baseline.cycles} cycles):")
+    for design in DESIGN_NAMES:
+        if design == "1P1L":
+            continue
+        result = run_simulation(make_system(design, args.llc),
+                                workload=args.workload, size=args.size)
+        print(f"  {design:<16} {result.cycles / baseline.cycles:.3f}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.simulator import run_trace
+    from .sw.tracefile import read_trace, write_trace
+    from .sw.tracegen import generate_trace
+    from .workloads.registry import build_workload
+    if args.action == "gen":
+        program = build_workload(args.workload, args.size)
+        dims = 2 if args.mda else 1
+        count = write_trace(generate_trace(program, dims), args.file)
+        print(f"wrote {count} requests to {args.file}")
+        return 0
+    result = run_trace(make_system(args.design, args.llc),
+                       read_trace(args.file), name=args.file)
+    print(result.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MDACache (MICRO 2018) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list designs/workloads/experiments") \
+        .set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="simulate one configuration")
+    run_p.add_argument("design", choices=DESIGN_NAMES)
+    run_p.add_argument("workload", choices=workload_names())
+    run_p.add_argument("--size", choices=("small", "large"),
+                       default="small")
+    run_p.add_argument("--llc", type=float, default=1.0,
+                       choices=sorted(LLC_SIZES))
+    run_p.add_argument("--stats", action="store_true",
+                       help="dump every counter")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    run_p.set_defaults(func=_cmd_run)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    exp_p.add_argument("name")
+    exp_p.set_defaults(func=_cmd_experiment)
+
+    sweep_p = sub.add_parser("sweep",
+                             help="all designs on one workload")
+    sweep_p.add_argument("workload", choices=workload_names())
+    sweep_p.add_argument("--size", choices=("small", "large"),
+                         default="small")
+    sweep_p.add_argument("--llc", type=float, default=1.0,
+                         choices=sorted(LLC_SIZES))
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    trace_p = sub.add_parser("trace", help="trace file generate/replay")
+    trace_sub = trace_p.add_subparsers(dest="action", required=True)
+    gen_p = trace_sub.add_parser("gen", help="generate a trace file")
+    gen_p.add_argument("workload", choices=workload_names())
+    gen_p.add_argument("file")
+    gen_p.add_argument("--size", choices=("small", "large"),
+                       default="small")
+    gen_p.add_argument("--mda", action="store_true",
+                       help="compile for the logically 2-D target")
+    gen_p.set_defaults(func=_cmd_trace, action="gen")
+    run_p2 = trace_sub.add_parser("run", help="replay a trace file")
+    run_p2.add_argument("design", choices=DESIGN_NAMES)
+    run_p2.add_argument("file")
+    run_p2.add_argument("--llc", type=float, default=1.0,
+                        choices=sorted(LLC_SIZES))
+    run_p2.set_defaults(func=_cmd_trace, action="run")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Shared machinery for all cache designs, plus the memory port.
+
+Inter-level protocol
+--------------------
+
+Every level (and the memory port at the bottom) exposes two methods to
+the level above it:
+
+``fetch_line(line_id, now, width) -> (completion, serving_level)``
+    Deliver an oriented line; ``completion`` is the absolute cycle the
+    critical word is available to the requester, ``serving_level`` the
+    1-based cache level that had the data (0 = main memory).
+
+``writeback_line(line_id, dirty_mask, now) -> ack``
+    Accept an evicted dirty line.  ``dirty_mask`` has bit ``k`` set when
+    word ``k`` of the line is dirty (the per-word dirty bits of paper
+    Design 1, used to elide clean-word writeback traffic).
+
+The CPU talks to L1 through :meth:`CacheLevel.access`, which adds the
+scalar/vector and orientation-preference semantics of paper Section IV-B.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import CacheLevelConfig
+from ..common.stats import StatGroup, StatRegistry
+from ..common.types import (
+    AccessResult,
+    AccessWidth,
+    Orientation,
+    Request,
+    WORDS_PER_LINE,
+)
+from ..mem.mda_memory import MdaMemory
+from .mshr import MshrFile
+from .replacement import ReplacementSet, make_replacement_set
+
+FULL_MASK = (1 << WORDS_PER_LINE) - 1
+
+
+class MemoryPort:
+    """Adapts :class:`MdaMemory` to the inter-level protocol."""
+
+    level_index = 0
+
+    def __init__(self, memory: MdaMemory, stats: StatRegistry) -> None:
+        self._memory = memory
+        self._stats = stats.group("memory.port")
+
+    def fetch_line(self, line_id: int, now: int,
+                   width: AccessWidth) -> Tuple[int, int]:
+        completion = self._memory.read_line(line_id, now)
+        self._stats.add("fetches")
+        return completion, 0
+
+    def writeback_line(self, line_id: int, dirty_mask: int,
+                       now: int) -> int:
+        self._stats.add("writebacks")
+        dirty_words = bin(dirty_mask & FULL_MASK).count("1")
+        self._stats.add("dirty_words_written", dirty_words)
+        return self._memory.write_line(line_id, now)
+
+
+class CacheLevel(abc.ABC):
+    """Base class: set/frame bookkeeping, MSHRs, stats, latency helpers."""
+
+    def __init__(self, config: CacheLevelConfig, level_index: int,
+                 stats: StatRegistry, replacement: str = "lru") -> None:
+        self._cfg = config
+        self._level = level_index
+        self._stats: StatGroup = stats.group(f"cache.{config.name}")
+        self._mshr = MshrFile(config.mshr_entries,
+                              stats.group(f"cache.{config.name}.mshr"))
+        self._sets: List[ReplacementSet] = [
+            make_replacement_set(replacement, seed=i)
+            for i in range(config.num_sets)
+        ]
+        self._lower = None  # type: Optional[object]
+        # 2-D ordering only matters when perpendicular lines can
+        # coexist; a logically 1-D cache never needs the barrier.
+        self._needs_ordering = config.logical_dims == 2
+        # Flag for the energy model: physically 2-D arrays are built
+        # from the on-chip crosspoint (STT) technology.
+        self._stats.set("is_stt_array",
+                        1 if config.physical_dims == 2 else 0)
+        # line_id -> cycle its fill data actually arrives.  A line is
+        # installed at fill-issue time for bookkeeping, but a hit before
+        # the data lands must wait for it (this keeps prefetch timing
+        # honest and charges coalesced hits their residual latency).
+        self._ready_at: Dict[int, int] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def connect(self, lower) -> None:
+        """Attach the next level down (a CacheLevel or MemoryPort)."""
+        self._lower = lower
+
+    @property
+    def config(self) -> CacheLevelConfig:
+        return self._cfg
+
+    @property
+    def level_index(self) -> int:
+        return self._level
+
+    @property
+    def stats(self) -> StatGroup:
+        return self._stats
+
+    @property
+    def mshr(self) -> MshrFile:
+        return self._mshr
+
+    # -- protocol ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def access(self, req: Request, now: int) -> AccessResult:
+        """CPU-facing access (only called on the first level)."""
+
+    @abc.abstractmethod
+    def fetch_line(self, line_id: int, now: int,
+                   width: AccessWidth) -> Tuple[int, int]:
+        """Deliver an oriented line to the level above."""
+
+    @abc.abstractmethod
+    def writeback_line(self, line_id: int, dirty_mask: int,
+                       now: int) -> int:
+        """Accept a dirty line evicted from the level above."""
+
+    @abc.abstractmethod
+    def orientation_occupancy(self) -> Tuple[int, int]:
+        """(row_lines, column_lines) currently resident (paper Fig. 15)."""
+
+    @abc.abstractmethod
+    def flush(self, now: int) -> None:
+        """Write back all dirty state to the level below and invalidate.
+
+        Used by tests (dirty-word conservation) and by callers that want
+        memory to reflect the final cache contents.
+        """
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _set_for(self, number: int) -> ReplacementSet:
+        return self._sets[number % self._cfg.num_sets]
+
+    @property
+    def _hit_latency(self) -> int:
+        return self._cfg.hit_latency
+
+    @property
+    def _tag_latency(self) -> int:
+        return self._cfg.tag_latency
+
+    @property
+    def _write_latency(self) -> int:
+        return self._cfg.hit_latency + self._cfg.write_extra_latency
+
+    def _fetch_below(self, line_id: int, now: int,
+                     width: AccessWidth) -> Tuple[int, int]:
+        """Fetch through the MSHR file: coalesce, order, or miss below.
+
+        Returns (completion, serving_level).  A coalesced request is
+        counted and inherits the outstanding fill's completion.
+        """
+        outstanding = self._mshr.outstanding_fill(line_id, now)
+        if outstanding is not None:
+            completion, level = outstanding
+            self._stats.add("mshr_coalesced")
+            return max(completion, now), level
+        if self._needs_ordering:
+            issue = self._mshr.ordering_barrier(line_id, now)
+        else:
+            issue = now
+        issue = self._mshr.allocate(line_id, issue)
+        completion, level = self._lower.fetch_line(line_id, issue, width)
+        self._mshr.record(line_id, completion, level)
+        self._stats.add("fills")
+        return completion, level
+
+    def _probe(self, count: int = 1) -> None:
+        """Account tag-array probes (latency is charged separately)."""
+        self._stats.add("tag_probes", count)
+
+    def _note_ready(self, line_id: int, completion: int,
+                    now: int) -> None:
+        """Record when a just-filled line's data actually lands."""
+        if completion > now:
+            self._ready_at[line_id] = completion
+
+    def _data_ready(self, line_id: int, now: int) -> int:
+        """Earliest cycle a hit on ``line_id`` can return data."""
+        ready = self._ready_at.get(line_id)
+        if ready is None:
+            return now
+        if ready <= now:
+            del self._ready_at[line_id]
+            return now
+        self._stats.add("early_hit_waits")
+        return ready
+
+    def _count_demand(self, req: Request) -> None:
+        """Bump the demand-access counters used by Figs. 10/11."""
+        self._stats.add("demand_accesses")
+        key = "row" if req.orientation is Orientation.ROW else "col"
+        width = "vector" if req.width is AccessWidth.VECTOR else "scalar"
+        self._stats.add(f"demand_{key}_{width}")
+        if req.is_write:
+            self._stats.add("demand_writes")
+        else:
+            self._stats.add("demand_reads")

@@ -1,0 +1,126 @@
+"""2-D miss status holding registers (paper Section IV-B).
+
+The MSHR file does two jobs:
+
+* **Coalescing** — a miss to an oriented line that already has an
+  outstanding fill joins that fill instead of generating new traffic.
+  This is the mechanism behind "many misses to the same column are
+  combined into one column access in the MSHR" (paper Section VII).
+* **2-D ordering** — "transactions that have overlapping words should be
+  ordered, even if the access directions are different.  ...  any
+  overlapping writes are blocked in the MSHR until the previous
+  overlapping accesses have finished."  Overlap between oriented lines is
+  geometric: same line, or perpendicular lines of the same tile.
+
+Entries are keyed by oriented line id and record the absolute completion
+time of the fill.  Because the surrounding model is trace-driven, entries
+whose completion time has passed are retired lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..common.stats import StatGroup
+from ..common.types import line_id_parts
+
+
+class MshrFile:
+    """Outstanding-miss tracking for one cache level."""
+
+    def __init__(self, entries: int, stats: StatGroup) -> None:
+        if entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self._capacity = entries
+        self._stats = stats
+        # line_id -> (completion time, serving level) of the in-flight fill
+        self._pending: Dict[int, Tuple[int, int]] = {}
+        # Lower bound on the earliest pending completion; lets the hot
+        # paths skip scanning the file when nothing can have retired yet.
+        self._earliest: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def retire_completed(self, now: int) -> None:
+        """Drop entries whose fills have already completed."""
+        if not self._pending:
+            return
+        if self._earliest is not None and now < self._earliest:
+            return
+        done = []
+        earliest: Optional[int] = None
+        for line, (at, _) in self._pending.items():
+            if at <= now:
+                done.append(line)
+            elif earliest is None or at < earliest:
+                earliest = at
+        for line in done:
+            del self._pending[line]
+        self._earliest = earliest
+
+    def outstanding_fill(self, line_id: int,
+                         now: int) -> Optional[Tuple[int, int]]:
+        """(completion, serving level) of an in-flight fill, if any."""
+        self.retire_completed(now)
+        return self._pending.get(line_id)
+
+    def ordering_barrier(self, line_id: int, now: int) -> int:
+        """Earliest time a new access overlapping ``line_id`` may proceed.
+
+        Returns ``now`` when nothing overlaps.  Perpendicular outstanding
+        lines in the same tile count as overlapping (2-D ordering).
+        """
+        self.retire_completed(now)
+        if not self._pending:
+            return now
+        tile, orientation, _ = line_id_parts(line_id)
+        barrier = now
+        for other, (at, _) in self._pending.items():
+            if other == line_id:
+                barrier = max(barrier, at)
+                continue
+            other_tile, other_orient, _ = line_id_parts(other)
+            if other_tile == tile and other_orient is not orientation:
+                barrier = max(barrier, at)
+                self._stats.add("ordering_blocks")
+        return barrier
+
+    def allocate(self, line_id: int, now: int) -> int:
+        """Reserve an entry for a new fill; returns the issue time.
+
+        When the file is full, the new miss stalls until the earliest
+        outstanding fill retires (structural hazard), which delays its
+        issue time.  The caller must follow up with :meth:`record` once
+        the fill's completion time is known.
+        """
+        self.retire_completed(now)
+        issue = now
+        while len(self._pending) >= self._capacity:
+            # A structural stall waits exactly until the oldest fill
+            # lands (exact minimum; _earliest is only a lower bound).
+            earliest = min(at for at, _ in self._pending.values())
+            issue = max(issue, earliest)
+            self._stats.add("full_stalls")
+            self.retire_completed(earliest)
+        self._pending[line_id] = (issue, 0)
+        self._note_bound(issue)
+        self._stats.add("allocations")
+        return issue
+
+    def record(self, line_id: int, completion: int, level: int) -> None:
+        """Set an entry's completion time and serving level."""
+        self._pending[line_id] = (completion, level)
+        self._note_bound(completion)
+
+    def _note_bound(self, value: int) -> None:
+        if self._earliest is None or value < self._earliest:
+            self._earliest = value
+
+    def clear(self) -> None:
+        self._pending.clear()
+        self._earliest = None

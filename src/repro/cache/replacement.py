@@ -1,0 +1,142 @@
+"""Replacement policies.
+
+Each cache set owns one policy instance tracking the keys currently
+resident in that set.  LRU is the paper's (and gem5's) default; FIFO and
+Random are provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Hashable, List, Optional
+
+
+class ReplacementSet(abc.ABC):
+    """Replacement bookkeeping for the keys of a single set."""
+
+    @abc.abstractmethod
+    def insert(self, key: Hashable) -> None:
+        """Record a newly-filled key."""
+
+    @abc.abstractmethod
+    def touch(self, key: Hashable) -> None:
+        """Record a hit on ``key``."""
+
+    @abc.abstractmethod
+    def remove(self, key: Hashable) -> None:
+        """Forget ``key`` (invalidation or eviction already chosen)."""
+
+    @abc.abstractmethod
+    def victim(self) -> Hashable:
+        """Choose the key to evict; the caller then calls remove()."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def keys(self) -> List[Hashable]:
+        ...
+
+
+class LruSet(ReplacementSet):
+    """Least-recently-used, exploiting dict insertion order."""
+
+    def __init__(self) -> None:
+        self._order: Dict[Hashable, None] = {}
+
+    def insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def touch(self, key: Hashable) -> None:
+        del self._order[key]
+        self._order[key] = None
+
+    def remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def victim(self) -> Hashable:
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def keys(self) -> List[Hashable]:
+        return list(self._order)
+
+
+class FifoSet(ReplacementSet):
+    """First-in-first-out: hits do not refresh position."""
+
+    def __init__(self) -> None:
+        self._order: Dict[Hashable, None] = {}
+
+    def insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def touch(self, key: Hashable) -> None:
+        pass
+
+    def remove(self, key: Hashable) -> None:
+        del self._order[key]
+
+    def victim(self) -> Hashable:
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def keys(self) -> List[Hashable]:
+        return list(self._order)
+
+
+class RandomSet(ReplacementSet):
+    """Uniform-random victim selection (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._members: Dict[Hashable, None] = {}
+
+    def insert(self, key: Hashable) -> None:
+        self._members[key] = None
+
+    def touch(self, key: Hashable) -> None:
+        pass
+
+    def remove(self, key: Hashable) -> None:
+        del self._members[key]
+
+    def victim(self) -> Hashable:
+        keys = list(self._members)
+        return keys[self._rng.randrange(len(keys))]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def keys(self) -> List[Hashable]:
+        return list(self._members)
+
+
+_POLICIES = {
+    "lru": LruSet,
+    "fifo": FifoSet,
+    "random": RandomSet,
+}
+
+
+def make_replacement_set(policy: str = "lru",
+                         seed: Optional[int] = None) -> ReplacementSet:
+    """Factory for one set's replacement state.
+
+    Args:
+        policy: "lru", "fifo", or "random".
+        seed: only meaningful for "random".
+    """
+    try:
+        cls = _POLICIES[policy]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {policy!r}") from None
+    if cls is RandomSet:
+        return RandomSet(seed or 0)
+    return cls()

@@ -1,0 +1,54 @@
+"""Shared value types, configuration, and statistics."""
+
+from .config import (
+    CacheLevelConfig,
+    CpuConfig,
+    MemoryConfig,
+    PrefetcherConfig,
+    SystemConfig,
+)
+from .errors import (
+    AddressError,
+    ConfigError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+)
+from .stats import StatGroup, StatRegistry
+from .types import (
+    AccessResult,
+    AccessWidth,
+    LINE_BYTES,
+    LINES_PER_TILE,
+    Orientation,
+    Request,
+    TILE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+    WORDS_PER_TILE,
+)
+
+__all__ = [
+    "AccessResult",
+    "AccessWidth",
+    "AddressError",
+    "CacheLevelConfig",
+    "ConfigError",
+    "CpuConfig",
+    "LINE_BYTES",
+    "LINES_PER_TILE",
+    "MemoryConfig",
+    "Orientation",
+    "PrefetcherConfig",
+    "ProgramError",
+    "ReproError",
+    "Request",
+    "SimulationError",
+    "StatGroup",
+    "StatRegistry",
+    "SystemConfig",
+    "TILE_BYTES",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "WORDS_PER_TILE",
+]

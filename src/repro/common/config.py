@@ -1,0 +1,273 @@
+"""Configuration dataclasses for the simulator.
+
+The defaults mirror the paper's Table I, scaled down by the capacity
+factor discussed in DESIGN.md (matrices are 1/8 the linear dimension, so
+working sets are 1/64 the capacity; caches are scaled to preserve the
+working-set : capacity ratios that drive every result figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from .errors import ConfigError
+from .types import LINE_BYTES, TILE_BYTES
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """Reference-indexed stride prefetcher (baseline 1P1L only).
+
+    Attributes:
+        enabled: whether the prefetcher issues any prefetches.
+        degree: number of lines prefetched ahead on a confirmed stride.
+        table_entries: number of reference (PC) slots tracked.
+        train_threshold: identical strides observed before prefetching.
+    """
+
+    enabled: bool = False
+    degree: int = 4
+    table_entries: int = 64
+    train_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.degree >= 1, "prefetch degree must be >= 1")
+        _require(self.table_entries >= 1, "prefetch table must be >= 1")
+        _require(self.train_threshold >= 1, "train threshold must be >= 1")
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """One cache level.
+
+    ``physical_dims``/``logical_dims`` select the taxonomy point
+    (paper Section IV-A): 1P1L conventional, 1P2L (orientation-tagged
+    lines in SRAM), 2P2L (512-byte 2-D block frames in an on-chip
+    crosspoint).
+
+    Attributes:
+        name: human-readable label ("L1", "L2", "L3").
+        size_bytes: total data capacity.
+        assoc: set associativity (in lines for *P1L/1P2L, in 2-D blocks
+            for 2P2L).
+        tag_latency: cycles for one tag probe.
+        data_latency: cycles for a data array access.
+        sequential_tag_data: True if data access starts after the tag
+            check (L2/L3 in Table I); False for parallel access (L1).
+        logical_dims: 1 or 2.
+        physical_dims: 1 or 2.
+        mapping: for 1P2L, "different_set" or "same_set" index mapping
+            (paper Fig. 8 discussion).
+        sparse_fill: for 2P2L, fill lines on demand instead of whole
+            blocks (paper Section IV-B "sparse 2P2L").
+        mshr_entries: outstanding distinct misses supported.
+        write_extra_latency: extra cycles charged to data-array writes
+            (models NVM read/write asymmetry, paper Fig. 16).
+        prefetcher: optional stride prefetcher attached to this level.
+        dynamic_orientation: for 1P2L levels, predict scalar access
+            orientation at runtime instead of trusting the static
+            annotation (paper Section IV-C extension).
+    """
+
+    name: str
+    size_bytes: int
+    assoc: int
+    tag_latency: int
+    data_latency: int
+    sequential_tag_data: bool = True
+    logical_dims: int = 1
+    physical_dims: int = 1
+    mapping: str = "different_set"
+    sparse_fill: bool = True
+    mshr_entries: int = 16
+    write_extra_latency: int = 0
+    prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    dynamic_orientation: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.logical_dims in (1, 2), "logical_dims must be 1 or 2")
+        _require(self.physical_dims in (1, 2), "physical_dims must be 1 or 2")
+        _require(not (self.physical_dims == 2 and self.logical_dims == 1),
+                 "2P1L is not modeled (paper elides it)")
+        _require(self.mapping in ("different_set", "same_set"),
+                 f"unknown mapping {self.mapping!r}")
+        frame = TILE_BYTES if self.physical_dims == 2 else LINE_BYTES
+        _require(self.size_bytes % frame == 0,
+                 f"{self.name}: size must be a multiple of {frame} bytes")
+        frames = self.size_bytes // frame
+        _require(self.assoc >= 1, f"{self.name}: assoc must be >= 1")
+        _require(frames % self.assoc == 0,
+                 f"{self.name}: {frames} frames not divisible by "
+                 f"assoc {self.assoc}")
+        # Set counts need not be powers of two: indexing is modulo, which
+        # also accommodates the paper's 1.5 MB LLC point.
+        _require(self.tag_latency >= 1 and self.data_latency >= 1,
+                 f"{self.name}: latencies must be >= 1 cycle")
+        _require(self.mshr_entries >= 1,
+                 f"{self.name}: mshr_entries must be >= 1")
+        _require(self.write_extra_latency >= 0,
+                 f"{self.name}: write_extra_latency must be >= 0")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes per allocation frame (line or 2-D block)."""
+        return TILE_BYTES if self.physical_dims == 2 else LINE_BYTES
+
+    @property
+    def num_frames(self) -> int:
+        return self.size_bytes // self.frame_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_frames // self.assoc
+
+    @property
+    def hit_latency(self) -> int:
+        """Cycles for a first-probe hit."""
+        if self.sequential_tag_data:
+            return self.tag_latency + self.data_latency
+        return max(self.tag_latency, self.data_latency)
+
+    @property
+    def taxonomy(self) -> str:
+        """Taxonomy label, e.g. "1P2L"."""
+        return f"{self.physical_dims}P{self.logical_dims}L"
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """MDA main memory timing and organization.
+
+    Cycle values are CPU cycles at the 3 GHz clock of Table I.  The
+    defaults approximate Everspin-class STT-MRAM behind a conventional
+    channel: a buffer (row or column) activation is the expensive
+    operation; a buffer hit pays only the CAS-like access plus burst.
+
+    Attributes:
+        channels / ranks_per_channel / banks_per_rank: topology.
+        activate_cycles: array row/column open into its buffer.
+        buffer_access_cycles: open-buffer access to first data beat.
+        write_cycles: array write (STT writes are slow).
+        burst_cycles: data-bus occupancy for one 64-byte line.
+        column_decode_extra: extra cycles on column-mode decode
+            (paper Section VI-B: one additional cycle).
+        write_queue_high / write_queue_low: WQF drain watermarks.
+        speed_factor: divide all array timings by this (paper Fig. 17
+            evaluates a 1.6x faster memory).
+        tile_cols_per_bank: tiles spanned by one physical array row; a
+            bank's row buffer covers one (tile-row, line) pair across
+            this many tiles, and symmetrically for the column buffer.
+        sub_buffers: open rows/columns each bank keeps simultaneously
+            (the Gulur et al. multiple sub-row-buffer scheme the paper
+            compares against in Section IX-B; 1 = a single open page).
+    """
+
+    channels: int = 4
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    tile_cols_per_bank: int = 8
+    sub_buffers: int = 1
+    activate_cycles: int = 90
+    buffer_access_cycles: int = 45
+    write_cycles: int = 150
+    burst_cycles: int = 16
+    column_decode_extra: int = 1
+    write_queue_high: int = 32
+    write_queue_low: int = 16
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.channels >= 1, "channels must be >= 1")
+        _require(self.ranks_per_channel >= 1, "ranks must be >= 1")
+        _require(self.banks_per_rank >= 1, "banks must be >= 1")
+        _require(_is_power_of_two(self.channels), "channels: power of two")
+        _require(_is_power_of_two(self.ranks_per_channel),
+                 "ranks: power of two")
+        _require(_is_power_of_two(self.banks_per_rank),
+                 "banks: power of two")
+        _require(_is_power_of_two(self.tile_cols_per_bank),
+                 "tile_cols_per_bank: power of two")
+        _require(self.sub_buffers >= 1, "sub_buffers must be >= 1")
+        for label in ("activate_cycles", "buffer_access_cycles",
+                      "write_cycles", "burst_cycles"):
+            _require(getattr(self, label) >= 1, f"{label} must be >= 1")
+        _require(self.column_decode_extra >= 0,
+                 "column_decode_extra must be >= 0")
+        _require(0 < self.write_queue_low <= self.write_queue_high,
+                 "write queue watermarks must satisfy 0 < low <= high")
+        _require(self.speed_factor > 0, "speed_factor must be positive")
+
+    def scaled(self, cycles: int) -> int:
+        """Apply the speed factor to an array timing value."""
+        return max(1, round(cycles / self.speed_factor))
+
+    def faster(self, factor: float) -> "MemoryConfig":
+        """A copy of this config with all array timings sped up."""
+        return replace(self, speed_factor=self.speed_factor * factor)
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Trace-driven CPU timing model.
+
+    Stands in for the paper's gem5 OoO x86 core: the core retires one
+    trace operation per ``cycles_per_op`` when data is ready, and can
+    overlap up to ``mlp_window`` outstanding misses (a stand-in for the
+    OoO load queue; the default matches the L1 MSHR capacity).
+    """
+
+    cycles_per_op: int = 1
+    mlp_window: int = 16
+
+    def __post_init__(self) -> None:
+        _require(self.cycles_per_op >= 1, "cycles_per_op must be >= 1")
+        _require(self.mlp_window >= 1, "mlp_window must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A full simulated system: cache levels (L1 first), memory, CPU."""
+
+    levels: List[CacheLevelConfig]
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    name: str = "system"
+
+    def __post_init__(self) -> None:
+        _require(len(self.levels) >= 1, "need at least one cache level")
+        for upper, lower in zip(self.levels, self.levels[1:]):
+            _require(upper.size_bytes <= lower.size_bytes,
+                     f"{upper.name} larger than {lower.name}")
+            _require(not (upper.physical_dims == 2
+                          and lower.physical_dims == 1),
+                     "a 2P2L level above a 1-D level is not modeled")
+            _require(not (upper.logical_dims == 2 and lower.logical_dims == 1),
+                     "a logically 2-D level above a logically 1-D level "
+                     "would drop orientation information")
+
+    @property
+    def llc(self) -> CacheLevelConfig:
+        return self.levels[-1]
+
+    @property
+    def logical_dims(self) -> int:
+        """Logical dimensionality presented to software (L1's)."""
+        return self.levels[0].logical_dims
+
+    def describe(self) -> str:
+        """One-line summary, e.g. "1P2L/1P2L/2P2L + MDA memory"."""
+        chain = "/".join(level.taxonomy for level in self.levels)
+        return f"{self.name}: {chain}"
+
+
+DEFAULT_MLP_WINDOW = CpuConfig().mlp_window

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the MDACache reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class AddressError(ReproError):
+    """An address fell outside the mapped physical space."""
+
+
+class ProgramError(ReproError):
+    """A kernel description (loop nest / array reference) is malformed."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulator was violated."""

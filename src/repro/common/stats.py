@@ -1,0 +1,120 @@
+"""Statistics collection.
+
+Every component owns a :class:`StatGroup`; groups nest into a
+:class:`StatRegistry` that the simulator exposes on its results object.
+Counters are plain ints (cheap to bump on hot paths); time series support
+the occupancy-over-time plots (paper Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class Sample:
+    """One point of a sampled time series."""
+
+    time: int
+    value: float
+
+
+class StatGroup:
+    """A flat bag of named counters and series for one component."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, int] = {}
+        self._series: Dict[str, List[Sample]] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self._counters.get(key, default)
+
+    def set(self, key: str, value: int) -> None:
+        self._counters[key] = value
+
+    def counters(self) -> Dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counters)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` with a 0.0 fallback."""
+        denom = self._counters.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._counters.get(numerator, 0) / denom
+
+    # -- time series -------------------------------------------------------
+
+    def sample(self, key: str, time: int, value: float) -> None:
+        """Append a time-series sample."""
+        self._series.setdefault(key, []).append(Sample(time, value))
+
+    def series(self, key: str) -> List[Sample]:
+        return list(self._series.get(key, []))
+
+    def series_keys(self) -> List[str]:
+        return sorted(self._series)
+
+    # -- misc ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._series.clear()
+
+    def __repr__(self) -> str:
+        return f"StatGroup({self.name!r}, {len(self._counters)} counters)"
+
+
+class StatRegistry:
+    """Named collection of stat groups for one simulation run."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, StatGroup] = {}
+
+    def group(self, name: str) -> StatGroup:
+        """Get or create the group ``name``."""
+        if name not in self._groups:
+            self._groups[name] = StatGroup(name)
+        return self._groups[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._groups
+
+    def __getitem__(self, name: str) -> StatGroup:
+        return self._groups[name]
+
+    def items(self) -> Iterator[Tuple[str, StatGroup]]:
+        return iter(sorted(self._groups.items()))
+
+    def flat(self) -> Dict[str, int]:
+        """All counters as ``"group.key" -> value``."""
+        out: Dict[str, int] = {}
+        for name, grp in self._groups.items():
+            for key, value in grp.counters().items():
+                out[f"{name}.{key}"] = value
+        return out
+
+    def reset(self) -> None:
+        for grp in self._groups.values():
+            grp.reset()
+
+    def report(self) -> str:
+        """Human-readable multi-line dump of every counter."""
+        lines: List[str] = []
+        for name, grp in self.items():
+            counters = grp.counters()
+            if not counters:
+                continue
+            lines.append(f"[{name}]")
+            width = max(len(key) for key in counters)
+            for key in sorted(counters):
+                lines.append(f"  {key:<{width}}  {counters[key]}")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Core simulation: CPU model, systems, driver, result helpers."""
+
+from .charts import bar_chart, grouped_bar_chart, sparkline
+from .cpu import TraceDrivenCpu
+from .multicore import (
+    CoreResult,
+    MultiProgramResult,
+    as_run_result,
+    run_multiprogrammed,
+)
+from .energy import EnergyBreakdown, EnergyModel, EnergyParams, energy_of_run
+from .report import (
+    comparison_to_dict,
+    run_to_dict,
+    runs_to_json,
+    system_to_dict,
+)
+from .results import (
+    format_table,
+    geomean,
+    mean,
+    normalized,
+    reduction_percent,
+)
+from .simulator import OccupancySample, RunResult, run_simulation, run_trace
+from .system import (
+    DESIGN_NAMES,
+    LLC_SIZES,
+    llc_bytes,
+    make_resident_system,
+    make_system,
+)
+
+__all__ = [
+    "DESIGN_NAMES",
+    "CoreResult",
+    "MultiProgramResult",
+    "as_run_result",
+    "bar_chart",
+    "grouped_bar_chart",
+    "sparkline",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+    "energy_of_run",
+    "LLC_SIZES",
+    "OccupancySample",
+    "RunResult",
+    "TraceDrivenCpu",
+    "comparison_to_dict",
+    "format_table",
+    "geomean",
+    "llc_bytes",
+    "make_resident_system",
+    "make_system",
+    "mean",
+    "normalized",
+    "reduction_percent",
+    "run_multiprogrammed",
+    "run_simulation",
+    "run_to_dict",
+    "runs_to_json",
+    "system_to_dict",
+    "run_trace",
+]

@@ -1,0 +1,71 @@
+"""Tiny ASCII chart helpers for experiment reports.
+
+Terminal-friendly bar charts and sparklines so the per-figure reports
+convey shape at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def bar_chart(rows: Iterable[Tuple[str, float]], width: int = 40,
+              max_value: float = None, unit: str = "") -> str:
+    """Horizontal bar chart: one ``label  ███··· value`` line per row.
+
+    Args:
+        rows: (label, value) pairs; values must be >= 0.
+        width: bar width in characters for the largest value.
+        max_value: fixed scale; defaults to the largest value.
+        unit: suffix appended to the printed value.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    for _, value in rows:
+        if value < 0:
+            raise ValueError("bar_chart values must be >= 0")
+    scale = max_value if max_value is not None \
+        else max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines: List[str] = []
+    for label, value in rows:
+        filled = 0 if scale == 0 else round(width * value / scale)
+        filled = min(filled, width)
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label:<{label_width}}  {bar}  "
+                     f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: float = None,
+              hi: float = None) -> str:
+    """One-line sparkline over ``values`` using ASCII density ramp."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    top = len(_SPARK_LEVELS) - 1
+    chars = []
+    for value in values:
+        if span == 0:
+            level = top // 2
+        else:
+            level = round(top * (value - lo) / span)
+        chars.append(_SPARK_LEVELS[max(0, min(top, level))])
+    return "".join(chars)
+
+
+def grouped_bar_chart(groups: Dict[str, List[Tuple[str, float]]],
+                      width: int = 40) -> str:
+    """Bar charts per group, under a shared scale."""
+    all_values = [value for rows in groups.values()
+                  for _, value in rows]
+    scale = max(all_values) if all_values else 1.0
+    blocks = []
+    for title, rows in groups.items():
+        blocks.append(f"{title}\n{bar_chart(rows, width, scale)}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,141 @@
+"""Post-hoc energy accounting.
+
+The paper motivates MDA column access partly through energy ("row
+opening is a costly operation for a memory array in terms of both
+latency and power", Section III): a column fetch replaces up to eight
+row activations with one column activation.  This module prices the
+event counters a simulation already collects — no hot-path cost — with
+per-event energies for the memory array, the buses, and the cache
+arrays, and reports a per-component breakdown.
+
+Default event energies are order-of-magnitude values assembled from the
+STT-MRAM / SRAM literature the paper draws on (activation dominated by
+wordline/sense energy; STT writes several times read energy; SRAM tag
+probes far below array accesses).  They are configuration, not truth:
+every value can be overridden, and the experiments only rely on ratios
+between designs, which are driven by the event *counts*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
+
+from ..common.errors import ConfigError
+from ..common.stats import StatRegistry
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies in picojoules."""
+
+    # Main-memory array events (per event).
+    mem_activate_pj: float = 900.0      # open a row/column into a buffer
+    mem_buffer_access_pj: float = 150.0  # CAS-like open-buffer read
+    mem_array_write_pj: float = 1100.0  # STT array write (per line)
+    mem_burst_pj: float = 120.0         # 64-byte channel transfer
+
+    # Cache array events (per event, per level technology).
+    sram_tag_probe_pj: float = 4.0
+    sram_data_access_pj: float = 24.0
+    stt_tag_probe_pj: float = 5.0
+    stt_data_read_pj: float = 30.0
+    stt_data_write_pj: float = 95.0
+
+    # Interconnect between cache levels (per 64-byte line moved).
+    link_transfer_pj: float = 18.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ConfigError(f"{f.name} must be >= 0")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per component, in picojoules."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_pj / 1000.0
+
+    def fraction(self, component: str) -> float:
+        total = self.total_pj
+        if total == 0:
+            return 0.0
+        return self.components.get(component, 0.0) / total
+
+    def report(self) -> str:
+        lines: List[str] = []
+        width = max((len(k) for k in self.components), default=4)
+        for name in sorted(self.components,
+                           key=self.components.get, reverse=True):
+            value = self.components[name]
+            lines.append(f"{name:<{width}}  {value / 1000.0:12.1f} nJ  "
+                         f"({100 * self.fraction(name):5.1f}%)")
+        lines.append(f"{'total':<{width}}  {self.total_nj:12.1f} nJ")
+        return "\n".join(lines)
+
+
+class EnergyModel:
+    """Prices a finished run's statistics registry."""
+
+    def __init__(self, params: EnergyParams = None) -> None:
+        self._params = params or EnergyParams()
+
+    @property
+    def params(self) -> EnergyParams:
+        return self._params
+
+    def evaluate(self, stats: StatRegistry) -> EnergyBreakdown:
+        """Energy breakdown for one run's statistics."""
+        p = self._params
+        out = EnergyBreakdown()
+
+        banks = stats.group("memory.banks") if "memory.banks" in stats \
+            else None
+        if banks is not None:
+            activates = banks.get("buffer_misses")
+            reads = banks.get("reads")
+            writes = banks.get("writes")
+            out.components["memory.array"] = (
+                activates * p.mem_activate_pj
+                + reads * p.mem_buffer_access_pj
+                + writes * p.mem_array_write_pj)
+        if "memory" in stats:
+            mem = stats["memory"]
+            bursts = mem.get("line_reads") + mem.get("writes_drained")
+            out.components["memory.bus"] = bursts * p.mem_burst_pj
+
+        for name, grp in stats.items():
+            if not name.startswith("cache.") or name.count(".") != 1:
+                continue
+            level = name.split(".", 1)[1]
+            is_stt = grp.get("is_stt_array", 0) == 1
+            tag_pj = p.stt_tag_probe_pj if is_stt else p.sram_tag_probe_pj
+            read_pj = p.stt_data_read_pj if is_stt \
+                else p.sram_data_access_pj
+            write_pj = p.stt_data_write_pj if is_stt \
+                else p.sram_data_access_pj
+            probes = grp.get("tag_probes")
+            data_reads = grp.get("hits") + grp.get("fetch_requests")
+            data_writes = (grp.get("fills") + grp.get("writebacks_in")
+                           + grp.get("demand_writes"))
+            moved = grp.get("fills") + grp.get("writebacks_out")
+            out.components[f"cache.{level}"] = (
+                probes * tag_pj
+                + data_reads * read_pj + data_writes * write_pj)
+            out.components.setdefault("links", 0.0)
+            out.components["links"] += moved * p.link_transfer_pj
+        return out
+
+
+def energy_of_run(result, params: EnergyParams = None) -> EnergyBreakdown:
+    """Convenience wrapper: price a :class:`RunResult`."""
+    return EnergyModel(params).evaluate(result.stats)

@@ -1,0 +1,104 @@
+"""Machine-readable result reporting (JSON).
+
+Turns :class:`RunResult` objects and whole experiment sweeps into plain
+dictionaries, so results can be archived, diffed between versions, or
+consumed by plotting scripts without touching the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from ..common.config import SystemConfig
+from .energy import EnergyModel
+from .simulator import RunResult
+
+
+def system_to_dict(system: SystemConfig) -> Dict[str, Any]:
+    """Describe a system configuration."""
+    return {
+        "name": system.name,
+        "levels": [
+            {
+                "name": lvl.name,
+                "taxonomy": lvl.taxonomy,
+                "size_bytes": lvl.size_bytes,
+                "assoc": lvl.assoc,
+                "mapping": lvl.mapping,
+                "sparse_fill": lvl.sparse_fill,
+                "prefetch": lvl.prefetcher.enabled,
+                "dynamic_orientation": lvl.dynamic_orientation,
+            }
+            for lvl in system.levels
+        ],
+        "memory": {
+            "channels": system.memory.channels,
+            "banks_per_rank": system.memory.banks_per_rank,
+            "speed_factor": system.memory.speed_factor,
+            "sub_buffers": system.memory.sub_buffers,
+        },
+        "cpu": {
+            "mlp_window": system.cpu.mlp_window,
+            "cycles_per_op": system.cpu.cycles_per_op,
+        },
+    }
+
+
+def run_to_dict(result: RunResult, include_counters: bool = False,
+                include_energy: bool = True) -> Dict[str, Any]:
+    """Summarize one run; optionally embed every raw counter."""
+    out: Dict[str, Any] = {
+        "workload": result.workload,
+        "system": system_to_dict(result.system),
+        "cycles": result.cycles,
+        "ops": result.ops,
+        "l1_hit_rate": result.l1_hit_rate(),
+        "llc_requests": result.llc_requests(),
+        "memory_bytes": result.memory_bytes(),
+        "memory_reads": result.memory_reads(),
+        "column_buffer_hits": result.column_buffer_hits(),
+    }
+    if include_energy:
+        breakdown = EnergyModel().evaluate(result.stats)
+        out["energy_nj"] = breakdown.total_nj
+        out["energy_components_nj"] = {
+            key: value / 1000.0
+            for key, value in breakdown.components.items()
+        }
+    if include_counters:
+        out["counters"] = result.stats.flat()
+    return out
+
+
+def runs_to_json(results: Iterable[RunResult], indent: int = 2,
+                 include_counters: bool = False) -> str:
+    """JSON array for a batch of runs."""
+    payload: List[Dict[str, Any]] = [
+        run_to_dict(result, include_counters) for result in results
+    ]
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def comparison_to_dict(baseline: RunResult,
+                       contender: RunResult) -> Dict[str, Any]:
+    """Normalized head-to-head between two runs on one workload."""
+    if baseline.workload != contender.workload:
+        raise ValueError("comparing runs of different workloads")
+
+    def ratio(num: float, den: float) -> float:
+        return num / den if den else 0.0
+
+    return {
+        "workload": baseline.workload,
+        "baseline": baseline.system.name,
+        "contender": contender.system.name,
+        "cycles_ratio": ratio(contender.cycles, baseline.cycles),
+        "memory_bytes_ratio": ratio(contender.memory_bytes(),
+                                    baseline.memory_bytes()),
+        "llc_requests_ratio": ratio(contender.llc_requests(),
+                                    baseline.llc_requests()),
+        "energy_ratio": ratio(
+            EnergyModel().evaluate(contender.stats).total_pj,
+            EnergyModel().evaluate(baseline.stats).total_pj),
+    }

@@ -1,0 +1,66 @@
+"""Result post-processing shared by the experiment modules."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def normalized(value: float, baseline: float) -> float:
+    """``value / baseline`` with a 0-baseline guard."""
+    if baseline == 0:
+        return 0.0
+    return value / baseline
+
+
+def reduction_percent(value: float, baseline: float) -> float:
+    """Percent reduction of ``value`` relative to ``baseline``."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (1.0 - value / baseline)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (0 for an empty input; values must be > 0)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 precision: int = 3) -> str:
+    """Fixed-width text table used by every experiment's report."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_by_key(rows: Iterable[Tuple[str, float]]) \
+        -> Dict[str, List[float]]:
+    """Group (key, value) pairs into per-key value lists."""
+    out: Dict[str, List[float]] = {}
+    for key, value in rows:
+        out.setdefault(key, []).append(value)
+    return out

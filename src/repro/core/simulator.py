@@ -1,0 +1,160 @@
+"""The simulation driver: one workload through one system.
+
+``run_simulation`` is the package's main entry point: it builds the
+hierarchy, compiles the workload for the system's logical dimensionality
+(choosing the matching memory layout per the paper's protocol), drives
+the trace through the CPU model, and returns a :class:`RunResult` with
+every statistic the experiment modules consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common.config import SystemConfig
+from ..common.stats import StatRegistry
+from ..sw.layout import Layout, make_layout
+from ..sw.program import Program
+from ..sw.tracegen import generate_trace
+from ..workloads.registry import build_workload
+from .cpu import TraceDrivenCpu
+
+
+@dataclass
+class OccupancySample:
+    """Row/column line occupancy of every level at one instant."""
+
+    ops: int
+    cycles: int
+    by_level: Dict[str, Tuple[int, int]]
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    system: SystemConfig
+    workload: str
+    cycles: int
+    ops: int
+    stats: StatRegistry
+    samples: List[OccupancySample] = field(default_factory=list)
+
+    # -- derived metrics used across the figures --------------------------
+
+    def l1_hit_rate(self) -> float:
+        grp = self.stats.group("cache.L1")
+        return grp.ratio("hits", "demand_accesses")
+
+    def llc_requests(self) -> int:
+        """Demand traffic arriving at the LLC (paper Fig. 14, left)."""
+        name = self.system.llc.name
+        grp = self.stats.group(f"cache.{name}")
+        return grp.get("fetch_requests") + grp.get("writebacks_in")
+
+    def memory_bytes(self) -> int:
+        """Bytes moved between LLC and memory (paper Fig. 14, right)."""
+        grp = self.stats.group("memory")
+        return grp.get("bytes_read") + grp.get("bytes_written")
+
+    def memory_reads(self) -> int:
+        return self.stats.group("memory").get("line_reads")
+
+    def column_buffer_hits(self) -> int:
+        return self.stats.group("memory.banks").get("col_buffer_hits")
+
+    def partial_writeback_savings(self) -> float:
+        """Fraction of writeback words elided by per-word dirty bits.
+
+        The paper adds 8 dirty bits per line "to mitigate the impact of
+        extra writebacks caused by false sharing of intersecting cache
+        lines"; this reports how much of the line-granular writeback
+        volume those bits mark clean (0.0 when every written-back word
+        was dirty, or when nothing was written back).
+        """
+        port = self.stats.group("memory.port")
+        lines = port.get("writebacks")
+        if lines == 0:
+            return 0.0
+        dirty_words = port.get("dirty_words_written")
+        return 1.0 - dirty_words / (8 * lines)
+
+    def describe(self) -> str:
+        return (f"{self.workload} on {self.system.name}: "
+                f"{self.cycles} cycles, {self.ops} ops, "
+                f"L1 hit rate {self.l1_hit_rate():.3f}")
+
+
+def run_simulation(system: SystemConfig,
+                   program: Optional[Program] = None,
+                   workload: Optional[str] = None,
+                   size: str = "large",
+                   layout: Optional[Layout] = None,
+                   sample_every: int = 0,
+                   replacement: str = "lru",
+                   compile_dims: Optional[int] = None) -> RunResult:
+    """Simulate one workload on one system configuration.
+
+    Args:
+        system: the design point (see :mod:`repro.core.system`).
+        program: an explicit kernel IR; mutually exclusive with
+            ``workload``.
+        workload: a registry benchmark name to build at ``size``.
+        size: 'small' (paper 256x256) or 'large' (paper 512x512).
+        layout: override the memory layout.  By default the layout
+            matches the hierarchy's logical dimensionality, as the
+            paper's evaluation protocol requires; overriding it
+            reproduces the layout-mismatch experiment.
+        sample_every: record orientation occupancy every N ops
+            (paper Fig. 15); 0 disables sampling.
+        replacement: cache replacement policy name.
+        compile_dims: override the logical dimensionality the trace is
+            compiled for (e.g. 1 to model a legacy binary — no column
+            annotations or column vectorization — on a 2-D hierarchy).
+    """
+    if (program is None) == (workload is None):
+        raise ValueError("pass exactly one of program= or workload=")
+    if program is None:
+        program = build_workload(workload, size)
+    stats = StatRegistry()
+    hierarchy = CacheHierarchy(system, stats, replacement)
+    logical_dims = compile_dims or system.logical_dims
+    if layout is None:
+        layout = make_layout(program.arrays, logical_dims)
+    trace = generate_trace(program, logical_dims, layout)
+    samples: List[OccupancySample] = []
+
+    def sampler(ops: int, now: int) -> None:
+        samples.append(OccupancySample(
+            ops=ops, cycles=now,
+            by_level=hierarchy.occupancy_by_level()))
+
+    cpu = TraceDrivenCpu(system.cpu, hierarchy, stats)
+    cycles = cpu.run(trace,
+                     sampler=sampler if sample_every else None,
+                     sample_every=sample_every)
+    ops = stats.group("cpu").get("ops")
+    return RunResult(system=system, workload=program.name,
+                     cycles=cycles, ops=ops, stats=stats,
+                     samples=samples)
+
+
+def run_trace(system: SystemConfig, trace,
+              replacement: str = "lru",
+              name: str = "trace") -> RunResult:
+    """Drive an explicit request iterable through a system.
+
+    For externally produced or file-loaded traces (see
+    :mod:`repro.sw.tracefile`); the caller is responsible for the trace
+    matching the hierarchy's capabilities (row-only requests for a
+    logically 1-D system).
+    """
+    stats = StatRegistry()
+    hierarchy = CacheHierarchy(system, stats, replacement)
+    cpu = TraceDrivenCpu(system.cpu, hierarchy, stats)
+    cycles = cpu.run(trace)
+    ops = stats.group("cpu").get("ops")
+    return RunResult(system=system, workload=name, cycles=cycles,
+                     ops=ops, stats=stats)

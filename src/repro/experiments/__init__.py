@@ -1,0 +1,54 @@
+"""Experiment modules: one per evaluation table/figure of the paper."""
+
+from .dynamic_orientation import (
+    DynamicOrientationResult,
+    run_dynamic_orientation,
+)
+from .energy import EnergyResult, run_energy
+from .fig10 import Fig10Result, run_fig10
+from .future_tiling import FutureTilingResult, run_future_tiling
+from .fig11 import Fig11Result, run_fig11
+from .fig12 import Fig12Result, run_fig12
+from .fig13 import Fig13Result, run_fig13
+from .fig14 import Fig14Result, run_fig14
+from .fig15 import Fig15Result, run_fig15
+from .fig16 import Fig16Result, run_fig16
+from .fig17 import Fig17Result, run_fig17
+from .layout_mismatch import LayoutMismatchResult, run_layout_mismatch
+from .multiprogram import MultiProgramExperimentResult, run_multiprogram
+from .run_all import run_all
+from .runner import ExperimentRunner, FAST_MEMORY_FACTOR
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "ExperimentRunner",
+    "FAST_MEMORY_FACTOR",
+    "DynamicOrientationResult",
+    "EnergyResult",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig12Result",
+    "Fig13Result",
+    "Fig14Result",
+    "Fig15Result",
+    "Fig16Result",
+    "Fig17Result",
+    "FutureTilingResult",
+    "LayoutMismatchResult",
+    "Table1Result",
+    "run_dynamic_orientation",
+    "run_energy",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_all",
+    "run_multiprogram",
+    "run_fig17",
+    "run_future_tiling",
+    "run_layout_mismatch",
+    "run_table1",
+]

@@ -1,0 +1,86 @@
+"""Extension experiment: energy comparison across designs.
+
+Not a paper figure — the paper motivates MDA access partly through
+activation energy ("row opening is a costly operation ... in terms of
+both latency and power", Section III) but reports no energy numbers.
+This experiment prices each design's event counts with
+:class:`~repro.core.energy.EnergyModel` and reports memory-system
+energy normalized to the 1P1L baseline, alongside the activation-count
+reduction that drives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.energy import EnergyBreakdown, EnergyModel, EnergyParams
+from ..core.results import format_table, mean, normalized
+from ..workloads.registry import workload_names
+from .runner import ExperimentRunner
+
+DESIGNS = ("1P2L", "1P2L_SameSet", "2P2L")
+
+
+@dataclass
+class EnergyResult:
+    """Total energy and activation counts per design and workload."""
+
+    baseline: Dict[str, EnergyBreakdown] = field(default_factory=dict)
+    breakdowns: Dict[str, Dict[str, EnergyBreakdown]] = \
+        field(default_factory=dict)
+    activations: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def normalized_energy(self, design: str, workload: str) -> float:
+        return normalized(self.breakdowns[design][workload].total_pj,
+                          self.baseline[workload].total_pj)
+
+    def average_normalized(self, design: str) -> float:
+        return mean(self.normalized_energy(design, w)
+                    for w in self.baseline)
+
+    def report(self) -> str:
+        rows: List[List[object]] = []
+        for workload in self.baseline:
+            row: List[object] = [workload]
+            row.extend(self.normalized_energy(d, workload)
+                       for d in DESIGNS)
+            row.append(self.activations["1P1L"][workload])
+            row.append(self.activations["1P2L"][workload])
+            rows.append(row)
+        rows.append(["average",
+                     *(self.average_normalized(d) for d in DESIGNS),
+                     "", ""])
+        return format_table(
+            ("workload", *(f"{d} energy" for d in DESIGNS),
+             "1P1L activates", "1P2L activates"), rows)
+
+
+def run_energy(runner: Optional[ExperimentRunner] = None,
+               workloads: Optional[List[str]] = None,
+               size: str = "large", llc_mb: float = 1.0,
+               params: Optional[EnergyParams] = None) -> EnergyResult:
+    runner = runner or ExperimentRunner()
+    model = EnergyModel(params)
+    result = EnergyResult()
+    for workload in workloads or workload_names():
+        base = runner.run("1P1L", workload, size, llc_mb)
+        result.baseline[workload] = model.evaluate(base.stats)
+        result.activations.setdefault("1P1L", {})[workload] = \
+            base.stats.group("memory.banks").get("buffer_misses")
+        for design in DESIGNS:
+            run = runner.run(design, workload, size, llc_mb)
+            result.breakdowns.setdefault(design, {})[workload] = \
+                model.evaluate(run.stats)
+            if design == "1P2L":
+                result.activations.setdefault("1P2L", {})[workload] = \
+                    run.stats.group("memory.banks").get("buffer_misses")
+    return result
+
+
+def main() -> None:
+    print(run_energy(ExperimentRunner(verbose=True)).report())
+
+
+if __name__ == "__main__":
+    main()

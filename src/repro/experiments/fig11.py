@@ -1,0 +1,75 @@
+"""Fig. 11: L1 hit rates normalized to 1P1L (with prefetching).
+
+Setup: 1 MB-scaled LLC, large (paper 512x512) input.  The paper reports
+1P2L averaging 12% better (18% for Same-Set) while noting that "1P2L
+does not guarantee a better L1 hit rate than 1P1L for all benchmarks".
+
+Reproduction caveat (EXPERIMENTS.md): hit rates are per memory
+*operation*; MDA designs replace 8 scalar column ops with one vector op,
+so their op mix differs from the baseline's more than in the paper,
+widening the per-benchmark spread in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.results import format_table, mean, normalized
+from ..workloads.registry import workload_names
+from .runner import ExperimentRunner
+
+DESIGNS = ("1P2L", "1P2L_SameSet", "2P2L")
+
+
+@dataclass
+class Fig11Result:
+    """Absolute and normalized L1 hit rates per design and workload."""
+
+    baseline: Dict[str, float] = field(default_factory=dict)
+    rates: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def normalized_rate(self, design: str, workload: str) -> float:
+        return normalized(self.rates[design][workload],
+                          self.baseline[workload])
+
+    def average_normalized(self, design: str) -> float:
+        return mean(self.normalized_rate(design, w)
+                    for w in self.baseline)
+
+    def report(self) -> str:
+        rows: List[List[object]] = []
+        for workload in self.baseline:
+            row: List[object] = [workload, self.baseline[workload]]
+            row.extend(self.normalized_rate(d, workload)
+                       for d in DESIGNS)
+            rows.append(row)
+        rows.append(["average", "",
+                     *(self.average_normalized(d) for d in DESIGNS)])
+        return format_table(
+            ("workload", "1P1L hit rate",
+             *(f"{d} (norm)" for d in DESIGNS)), rows)
+
+
+def run_fig11(runner: Optional[ExperimentRunner] = None,
+              workloads: Optional[List[str]] = None,
+              size: str = "large",
+              llc_mb: float = 1.0) -> Fig11Result:
+    runner = runner or ExperimentRunner()
+    result = Fig11Result()
+    for workload in workloads or workload_names():
+        base = runner.run("1P1L", workload, size, llc_mb)
+        result.baseline[workload] = base.l1_hit_rate()
+        for design in DESIGNS:
+            run = runner.run(design, workload, size, llc_mb)
+            result.rates.setdefault(design, {})[workload] = \
+                run.l1_hit_rate()
+    return result
+
+
+def main() -> None:
+    print(run_fig11(ExperimentRunner(verbose=True)).report())
+
+
+if __name__ == "__main__":
+    main()

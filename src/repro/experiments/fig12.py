@@ -1,0 +1,97 @@
+"""Fig. 12: execution cycles normalized to 1P1L, across LLC capacities.
+
+The paper's headline figure: total cycles for 1P2L (Different-Set),
+1P2L_SameSet, and 2P2L, each normalized to the prefetching 1P1L
+baseline, with the LLC swept over {1, 1.5, 2, 4} MB (scaled here to
+{16, 24, 32, 64} KB) on the large input.
+
+Paper shape to match: average reductions of 64/65/46/45% (1P2L),
+72/68/64/57% (Same-Set), 65/66/41/39% (2P2L); benefits shrink as the
+LLC approaches the working set; 2P2L's worst case can exceed baseline
+near the 2 MB working-set edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.results import format_table, mean, normalized
+from ..workloads.registry import workload_names
+from .runner import ExperimentRunner
+
+DESIGNS = ("1P2L", "1P2L_SameSet", "2P2L")
+LLC_POINTS = (1.0, 1.5, 2.0, 4.0)
+
+
+@dataclass
+class Fig12Result:
+    """cycles[llc_mb][design][workload], plus baseline cycles."""
+
+    baseline: Dict[Tuple[float, str], int] = field(default_factory=dict)
+    cycles: Dict[Tuple[float, str, str], int] = field(default_factory=dict)
+    workloads: List[str] = field(default_factory=list)
+    llc_points: Tuple[float, ...] = LLC_POINTS
+
+    def normalized_cycles(self, llc_mb: float, design: str,
+                          workload: str) -> float:
+        return normalized(self.cycles[(llc_mb, design, workload)],
+                          self.baseline[(llc_mb, workload)])
+
+    def average_normalized(self, llc_mb: float, design: str) -> float:
+        return mean(self.normalized_cycles(llc_mb, design, w)
+                    for w in self.workloads)
+
+    def average_reduction_percent(self, llc_mb: float,
+                                  design: str) -> float:
+        return 100.0 * (1.0 - self.average_normalized(llc_mb, design))
+
+    def report(self) -> str:
+        from ..core.charts import bar_chart
+        blocks = []
+        for llc in self.llc_points:
+            rows: List[List[object]] = []
+            for workload in self.workloads:
+                rows.append([
+                    workload,
+                    *(self.normalized_cycles(llc, d, workload)
+                      for d in DESIGNS),
+                ])
+            rows.append(["average",
+                         *(self.average_normalized(llc, d)
+                           for d in DESIGNS)])
+            table = format_table(("workload", *DESIGNS), rows)
+            blocks.append(f"LLC = {llc} MB (paper scale)\n{table}")
+        chart = bar_chart(
+            [(f"{d} @ {llc}MB", self.average_normalized(llc, d))
+             for d in DESIGNS for llc in self.llc_points],
+            max_value=1.0)
+        blocks.append("average normalized cycles (1.0 = baseline)\n"
+                      + chart)
+        return "\n\n".join(blocks)
+
+
+def run_fig12(runner: Optional[ExperimentRunner] = None,
+              workloads: Optional[List[str]] = None,
+              llc_points: Optional[Tuple[float, ...]] = None,
+              size: str = "large") -> Fig12Result:
+    runner = runner or ExperimentRunner()
+    result = Fig12Result()
+    result.workloads = list(workloads or workload_names())
+    result.llc_points = tuple(llc_points or LLC_POINTS)
+    for llc in result.llc_points:
+        for workload in result.workloads:
+            base = runner.run("1P1L", workload, size, llc)
+            result.baseline[(llc, workload)] = base.cycles
+            for design in DESIGNS:
+                run = runner.run(design, workload, size, llc)
+                result.cycles[(llc, design, workload)] = run.cycles
+    return result
+
+
+def main() -> None:
+    print(run_fig12(ExperimentRunner(verbose=True)).report())
+
+
+if __name__ == "__main__":
+    main()

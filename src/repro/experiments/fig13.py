@@ -1,0 +1,65 @@
+"""Fig. 13: cache-resident working sets (small input, 2 MB L2-as-LLC).
+
+The sensitivity check of Section VIII: with the whole working set
+resident in a large LLC, the memory-bandwidth advantage mostly
+disappears, but L1<->L2 transfer reduction remains.  Paper: 1P2L
+reduces execution time by ~14% on average, 2P2L ~16% — much smaller
+than the non-resident case but still positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.results import format_table, mean, normalized
+from ..workloads.registry import workload_names
+from .runner import ExperimentRunner
+
+DESIGNS = ("1P2L", "2P2L")
+
+
+@dataclass
+class Fig13Result:
+    baseline: Dict[str, int] = field(default_factory=dict)
+    cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def normalized_cycles(self, design: str, workload: str) -> float:
+        return normalized(self.cycles[design][workload],
+                          self.baseline[workload])
+
+    def average_normalized(self, design: str) -> float:
+        return mean(self.normalized_cycles(design, w)
+                    for w in self.baseline)
+
+    def report(self) -> str:
+        rows: List[List[object]] = []
+        for workload in self.baseline:
+            rows.append([workload,
+                         *(self.normalized_cycles(d, workload)
+                           for d in DESIGNS)])
+        rows.append(["average",
+                     *(self.average_normalized(d) for d in DESIGNS)])
+        return format_table(("workload", *DESIGNS), rows)
+
+
+def run_fig13(runner: Optional[ExperimentRunner] = None,
+              workloads: Optional[List[str]] = None,
+              size: str = "small") -> Fig13Result:
+    runner = runner or ExperimentRunner()
+    result = Fig13Result()
+    for workload in workloads or workload_names():
+        base = runner.run("1P1L", workload, size, resident=True)
+        result.baseline[workload] = base.cycles
+        for design in DESIGNS:
+            run = runner.run(design, workload, size, resident=True)
+            result.cycles.setdefault(design, {})[workload] = run.cycles
+    return result
+
+
+def main() -> None:
+    print(run_fig13(ExperimentRunner(verbose=True)).report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Fig. 14: LLC accesses and LLC<->memory transfer, normalized.
+
+Setup: 1 MB-scaled LLC, large input.  Paper: "substantially fewer L3
+accesses (only 22% of 1P1L, only 20% with 1P2L_SameSet, on average)"
+and "total bytes of memory transfer for 1P2L reduced to only 21% of
+1P1L (15% for 1P2L_SameSet)" — the MSHR column coalescing and 8x
+column-fetch density at work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.results import format_table, mean, normalized
+from ..workloads.registry import workload_names
+from .runner import ExperimentRunner
+
+DESIGNS = ("1P2L", "1P2L_SameSet", "2P2L")
+
+
+@dataclass
+class Fig14Result:
+    """(llc_accesses, memory_bytes) per design and workload."""
+
+    baseline: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    values: Dict[str, Dict[str, Tuple[int, int]]] = \
+        field(default_factory=dict)
+
+    def normalized_accesses(self, design: str, workload: str) -> float:
+        return normalized(self.values[design][workload][0],
+                          self.baseline[workload][0])
+
+    def normalized_bytes(self, design: str, workload: str) -> float:
+        return normalized(self.values[design][workload][1],
+                          self.baseline[workload][1])
+
+    def average_accesses(self, design: str) -> float:
+        return mean(self.normalized_accesses(design, w)
+                    for w in self.baseline)
+
+    def average_bytes(self, design: str) -> float:
+        return mean(self.normalized_bytes(design, w)
+                    for w in self.baseline)
+
+    def report(self) -> str:
+        rows: List[List[object]] = []
+        for workload in self.baseline:
+            row: List[object] = [workload]
+            for design in DESIGNS:
+                row.append(self.normalized_accesses(design, workload))
+                row.append(self.normalized_bytes(design, workload))
+            rows.append(row)
+        avg: List[object] = ["average"]
+        for design in DESIGNS:
+            avg.append(self.average_accesses(design))
+            avg.append(self.average_bytes(design))
+        rows.append(avg)
+        headers = ["workload"]
+        for design in DESIGNS:
+            headers.append(f"{design} acc")
+            headers.append(f"{design} bytes")
+        return format_table(headers, rows)
+
+
+def run_fig14(runner: Optional[ExperimentRunner] = None,
+              workloads: Optional[List[str]] = None,
+              size: str = "large",
+              llc_mb: float = 1.0) -> Fig14Result:
+    runner = runner or ExperimentRunner()
+    result = Fig14Result()
+    for workload in workloads or workload_names():
+        base = runner.run("1P1L", workload, size, llc_mb)
+        result.baseline[workload] = (base.llc_requests(),
+                                     base.memory_bytes())
+        for design in DESIGNS:
+            run = runner.run(design, workload, size, llc_mb)
+            result.values.setdefault(design, {})[workload] = (
+                run.llc_requests(), run.memory_bytes())
+    return result
+
+
+def main() -> None:
+    print(run_fig14(ExperimentRunner(verbose=True)).report())
+
+
+if __name__ == "__main__":
+    main()

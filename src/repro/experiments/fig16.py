@@ -1,0 +1,72 @@
+"""Fig. 16: impact of highly-asymmetric write latency on 2P2L.
+
+Section VIII, on-chip NVM read/write asymmetry: the 2P2L LLC is re-run
+with writes taking 20 additional cycles.  Paper: "2P2L with asymmetric
+write latency performs slightly worse than symmetric 2P2L, with a
+difference of 0.4% on average", trend vs baseline unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.results import format_table, mean, normalized
+from ..workloads.registry import workload_names
+from .runner import ExperimentRunner
+
+DESIGNS = ("1P2L", "1P2L_SameSet", "2P2L", "2P2L_SlowWrite")
+
+
+@dataclass
+class Fig16Result:
+    baseline: Dict[str, int] = field(default_factory=dict)
+    cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def normalized_cycles(self, design: str, workload: str) -> float:
+        return normalized(self.cycles[design][workload],
+                          self.baseline[workload])
+
+    def average_normalized(self, design: str) -> float:
+        return mean(self.normalized_cycles(design, w)
+                    for w in self.baseline)
+
+    def asymmetry_gap(self) -> float:
+        """Average slowdown of slow-write 2P2L over symmetric 2P2L."""
+        return (self.average_normalized("2P2L_SlowWrite")
+                - self.average_normalized("2P2L"))
+
+    def report(self) -> str:
+        rows: List[List[object]] = []
+        for workload in self.baseline:
+            rows.append([workload,
+                         *(self.normalized_cycles(d, workload)
+                           for d in DESIGNS)])
+        rows.append(["average",
+                     *(self.average_normalized(d) for d in DESIGNS)])
+        table = format_table(("workload", *DESIGNS), rows)
+        return (f"{table}\n\nslow-write penalty vs symmetric 2P2L: "
+                f"{100 * self.asymmetry_gap():+.2f}% of baseline")
+
+
+def run_fig16(runner: Optional[ExperimentRunner] = None,
+              workloads: Optional[List[str]] = None,
+              size: str = "large",
+              llc_mb: float = 1.0) -> Fig16Result:
+    runner = runner or ExperimentRunner()
+    result = Fig16Result()
+    for workload in workloads or workload_names():
+        base = runner.run("1P1L", workload, size, llc_mb)
+        result.baseline[workload] = base.cycles
+        for design in DESIGNS:
+            run = runner.run(design, workload, size, llc_mb)
+            result.cycles.setdefault(design, {})[workload] = run.cycles
+    return result
+
+
+def main() -> None:
+    print(run_fig16(ExperimentRunner(verbose=True)).report())
+
+
+if __name__ == "__main__":
+    main()

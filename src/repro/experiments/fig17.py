@@ -1,0 +1,82 @@
+"""Fig. 17: benefits in the presence of 1.6x faster main memory.
+
+Section VIII, main memory speed: every design is re-run with a 1.6x
+faster MDA memory ("-fast" variants).  Paper shape to match:
+
+* the benefit trend survives the faster memory ("1P2L-fast reducing
+  61% of the execution time over 1P1L-fast");
+* 1P2L on the *baseline* memory still beats 1P1L-fast ("reducing 41%
+  of the execution time"), i.e. MDA caching is worth more than a 1.6x
+  memory-speed advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.results import format_table, mean, normalized
+from ..workloads.registry import workload_names
+from .runner import ExperimentRunner
+
+#: (label, design, memory variant) — normalized against 1P1L-fast.
+VARIANTS: Tuple[Tuple[str, str, str], ...] = (
+    ("1P1L-fast", "1P1L", "fast"),
+    ("1P2L", "1P2L", "default"),
+    ("1P2L-fast", "1P2L", "fast"),
+    ("1P2L_SameSet", "1P2L_SameSet", "default"),
+    ("1P2L_SameSet-fast", "1P2L_SameSet", "fast"),
+    ("2P2L", "2P2L", "default"),
+    ("2P2L-fast", "2P2L", "fast"),
+)
+
+
+@dataclass
+class Fig17Result:
+    """Cycles per (label, workload); baseline is 1P1L-fast."""
+
+    cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    workloads: List[str] = field(default_factory=list)
+
+    def normalized_cycles(self, label: str, workload: str) -> float:
+        return normalized(self.cycles[label][workload],
+                          self.cycles["1P1L-fast"][workload])
+
+    def average_normalized(self, label: str) -> float:
+        return mean(self.normalized_cycles(label, w)
+                    for w in self.workloads)
+
+    def report(self) -> str:
+        labels = [label for label, _, _ in VARIANTS if
+                  label != "1P1L-fast"]
+        rows: List[List[object]] = []
+        for workload in self.workloads:
+            rows.append([workload,
+                         *(self.normalized_cycles(lbl, workload)
+                           for lbl in labels)])
+        rows.append(["average",
+                     *(self.average_normalized(lbl) for lbl in labels)])
+        return format_table(("workload (vs 1P1L-fast)", *labels), rows)
+
+
+def run_fig17(runner: Optional[ExperimentRunner] = None,
+              workloads: Optional[List[str]] = None,
+              size: str = "large",
+              llc_mb: float = 1.0) -> Fig17Result:
+    runner = runner or ExperimentRunner()
+    result = Fig17Result()
+    result.workloads = list(workloads or workload_names())
+    for label, design, memory in VARIANTS:
+        for workload in result.workloads:
+            run = runner.run(design, workload, size, llc_mb,
+                             memory=memory)
+            result.cycles.setdefault(label, {})[workload] = run.cycles
+    return result
+
+
+def main() -> None:
+    print(run_fig17(ExperimentRunner(verbose=True)).report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Future-work experiment: hardware-software collaborative tiling.
+
+Paper Section X: "the compiler can tile a loop nest such that the tile
+size (in each dimension) matches the 2-D block size used by the 2P2L
+cache...  We expect such hardware-software collaborative tiling to
+generate better results than software tiling or hardware tiling (2P2L)
+alone."
+
+Four points per workload:
+
+* ``1P2L``            — hardware 2-D lines, untiled loops;
+* ``1P2L+tiling``     — software tiling alone;
+* ``2P2L``            — hardware tiling (2-D blocks) alone;
+* ``2P2L+tiling``     — the collaborative point, loops tiled 8x8x8 to
+  match the 512-byte 2-D block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.results import format_table, mean, normalized
+from ..core.simulator import run_simulation
+from ..core.system import make_system
+from ..sw.tiling import tile_program
+from ..workloads.registry import build_workload
+
+#: Matrix kernels whose loops are rectangular and 8-divisible.
+WORKLOADS = ("sgemm", "ssyr2k", "ssyrk")
+#: A "desirable multiple" (2x) of the 8-line 2-D block dimension: big
+#: enough to amortize the per-tile accumulator traffic, small enough
+#: that a working tile set fits the scaled caches.
+TILE = 16
+
+
+@dataclass
+class FutureTilingResult:
+    """Cycles per (variant, workload), normalized to untiled 1P1L."""
+
+    baseline: Dict[str, int] = field(default_factory=dict)
+    cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    VARIANTS = ("1P2L", "1P2L+tiling", "2P2L", "2P2L+tiling")
+
+    def normalized_cycles(self, variant: str, workload: str) -> float:
+        return normalized(self.cycles[variant][workload],
+                          self.baseline[workload])
+
+    def average_normalized(self, variant: str) -> float:
+        return mean(self.normalized_cycles(variant, w)
+                    for w in self.baseline)
+
+    def collaborative_wins(self) -> bool:
+        """Does 2P2L+tiling beat both single-sided variants on
+        average (the paper's expectation)?"""
+        collab = self.average_normalized("2P2L+tiling")
+        return (collab <= self.average_normalized("2P2L")
+                and collab <= self.average_normalized("1P2L+tiling"))
+
+    def report(self) -> str:
+        rows: List[List[object]] = []
+        for workload in self.baseline:
+            rows.append([workload,
+                         *(self.normalized_cycles(v, workload)
+                           for v in self.VARIANTS)])
+        rows.append(["average",
+                     *(self.average_normalized(v)
+                       for v in self.VARIANTS)])
+        table = format_table(("workload", *self.VARIANTS), rows)
+        verdict = ("collaborative tiling wins on average"
+                   if self.collaborative_wins()
+                   else "collaborative tiling does NOT win on average")
+        return f"{table}\n\n{verdict}"
+
+
+def run_future_tiling(workloads: Optional[List[str]] = None,
+                      size: str = "large",
+                      llc_mb: float = 1.0) -> FutureTilingResult:
+    result = FutureTilingResult()
+    tile_sizes = {"i": TILE, "j": TILE, "k": TILE}
+    for workload in workloads or WORKLOADS:
+        plain = build_workload(workload, size)
+        tiled = tile_program(plain, tile_sizes)
+        base = run_simulation(make_system("1P1L", llc_mb),
+                              program=plain)
+        result.baseline[workload] = base.cycles
+        points = {
+            "1P2L": ("1P2L", plain),
+            "1P2L+tiling": ("1P2L", tiled),
+            "2P2L": ("2P2L", plain),
+            "2P2L+tiling": ("2P2L", tiled),
+        }
+        for label, (design, program) in points.items():
+            run = run_simulation(make_system(design, llc_mb),
+                                 program=program)
+            result.cycles.setdefault(label, {})[workload] = run.cycles
+    return result
+
+
+def main() -> None:
+    print(run_future_tiling().report())
+
+
+if __name__ == "__main__":
+    main()

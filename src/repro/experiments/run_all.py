@@ -1,0 +1,117 @@
+"""Regenerate every experiment into a results directory.
+
+``python -m repro.experiments.run_all [outdir]`` writes one ``.txt``
+report per table/figure (plus the extensions) and a ``summary.json``
+with the headline metrics — the full-evaluation artifact a release
+would ship.  Runs share one :class:`ExperimentRunner`, so common
+simulation points are computed once; expect ~10-15 minutes for the
+complete set at the default sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from .dynamic_orientation import run_dynamic_orientation
+from .energy import run_energy
+from .fig10 import run_fig10
+from .fig11 import run_fig11
+from .fig12 import run_fig12
+from .fig13 import run_fig13
+from .fig14 import run_fig14
+from .fig15 import run_fig15
+from .fig16 import run_fig16
+from .fig17 import run_fig17
+from .future_tiling import run_future_tiling
+from .layout_mismatch import run_layout_mismatch
+from .multiprogram import run_multiprogram
+from .runner import ExperimentRunner
+from .table1 import run_table1
+
+
+def _experiments(runner: ExperimentRunner) \
+        -> Dict[str, Tuple[Callable[[], object],
+                           Callable[[object], Dict[str, float]]]]:
+    """Name -> (runner thunk, summary extractor)."""
+    return {
+        "table1": (run_table1, lambda r: {}),
+        "fig10": (run_fig10, lambda r: {
+            "avg_column_fraction_large":
+                r.average_column_fraction("large")}),
+        "fig11": (lambda: run_fig11(runner), lambda r: {
+            "avg_normalized_l1_hit_rate_1p2l":
+                r.average_normalized("1P2L")}),
+        "fig12": (lambda: run_fig12(runner), lambda r: {
+            f"avg_normalized_cycles_1p2l_{llc}mb":
+                r.average_normalized(llc, "1P2L")
+            for llc in r.llc_points}),
+        "fig13": (lambda: run_fig13(runner), lambda r: {
+            "avg_normalized_cycles_resident_1p2l":
+                r.average_normalized("1P2L")}),
+        "fig14": (lambda: run_fig14(runner), lambda r: {
+            "avg_normalized_llc_accesses_1p2l":
+                r.average_accesses("1P2L"),
+            "avg_normalized_memory_bytes_1p2l":
+                r.average_bytes("1P2L")}),
+        "fig15": (lambda: run_fig15(runner), lambda r: {
+            "ssyrk_llc_peak_column_occupancy":
+                r.series["ssyrk"]["L3"].peak()}),
+        "fig16": (lambda: run_fig16(runner), lambda r: {
+            "slow_write_gap": r.asymmetry_gap()}),
+        "fig17": (lambda: run_fig17(runner), lambda r: {
+            "avg_normalized_1p2l_vs_fast_baseline":
+                r.average_normalized("1P2L")}),
+        "layout_mismatch": (run_layout_mismatch, lambda r: {
+            "avg_slowdown": r.average_slowdown()}),
+        "future_tiling": (run_future_tiling, lambda r: {
+            "collaborative_wins": float(r.collaborative_wins())}),
+        "energy": (lambda: run_energy(runner), lambda r: {
+            "avg_normalized_energy_1p2l":
+                r.average_normalized("1P2L")}),
+        "dynamic_orientation": (run_dynamic_orientation, lambda r: {
+            "fill_reduction": r.fill_reduction(),
+            "cycle_payoff": r.prediction_payoff()}),
+        "multiprogram": (run_multiprogram, lambda r: {
+            "avg_normalized_makespan_1p2l":
+                r.average_normalized("1P2L"),
+            "avg_sub_buffer_gain": r.average_sub_buffer_gain()}),
+    }
+
+
+def run_all(outdir: str = "results",
+            only: Optional[Tuple[str, ...]] = None,
+            verbose: bool = True) -> Dict[str, Dict[str, float]]:
+    """Run every (or the selected) experiment; returns the summary."""
+    os.makedirs(outdir, exist_ok=True)
+    runner = ExperimentRunner(verbose=verbose)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, (thunk, extract) in _experiments(runner).items():
+        if only and name not in only:
+            continue
+        started = time.time()
+        if verbose:
+            print(f"== {name} ==", file=sys.stderr)
+        result = thunk()
+        report = result.report()
+        with open(os.path.join(outdir, f"{name}.txt"), "w") as handle:
+            handle.write(report + "\n")
+        summary[name] = dict(extract(result),
+                             seconds=round(time.time() - started, 1))
+    with open(os.path.join(outdir, "summary.json"), "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    return summary
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    only = tuple(sys.argv[2:]) or None
+    summary = run_all(outdir, only)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Shared experiment runner with run memoization.
+
+Several figures reuse the same simulation points (e.g. the 1 MB-LLC
+baseline appears in Figs. 11, 12, 14, 16); the runner caches completed
+:class:`RunResult` objects per configuration key so a full-suite
+regeneration simulates each point exactly once.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common.config import MemoryConfig
+from ..core.simulator import RunResult, run_simulation
+from ..core.system import make_resident_system, make_system
+
+#: Paper Fig. 17 evaluates a 1.6x faster main memory.
+FAST_MEMORY_FACTOR = 1.6
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Identity of one simulation point."""
+
+    design: str
+    workload: str
+    size: str
+    llc_mb: float
+    resident: bool
+    memory: str  # "default" or "fast"
+    sample_every: int
+
+
+class ExperimentRunner:
+    """Builds systems, runs simulations, memoizes results."""
+
+    def __init__(self, verbose: bool = False) -> None:
+        self._cache: Dict[RunKey, RunResult] = {}
+        self._verbose = verbose
+
+    def run(self, design: str, workload: str, size: str = "large",
+            llc_mb: float = 1.0, resident: bool = False,
+            memory: str = "default",
+            sample_every: int = 0) -> RunResult:
+        """Simulate (or recall) one point."""
+        key = RunKey(design, workload, size, llc_mb, resident, memory,
+                     sample_every)
+        if key in self._cache:
+            return self._cache[key]
+        mem_cfg = self._memory_config(memory)
+        if resident:
+            system = make_resident_system(design, memory=mem_cfg)
+        else:
+            system = make_system(design, llc_mb, memory=mem_cfg)
+        started = time.time()
+        result = run_simulation(system, workload=workload, size=size,
+                                sample_every=sample_every)
+        if self._verbose:
+            print(f"  ran {design} / {workload} / {size} "
+                  f"(llc={llc_mb}MB mem={memory}"
+                  f"{' resident' if resident else ''}): "
+                  f"{result.cycles} cycles "
+                  f"[{time.time() - started:.1f}s]",
+                  file=sys.stderr)
+        self._cache[key] = result
+        return result
+
+    @staticmethod
+    def _memory_config(variant: str) -> MemoryConfig:
+        base = MemoryConfig()
+        if variant == "default":
+            return base
+        if variant == "fast":
+            return base.faster(FAST_MEMORY_FACTOR)
+        raise ValueError(f"unknown memory variant {variant!r}")
+
+    @property
+    def runs_completed(self) -> int:
+        return len(self._cache)

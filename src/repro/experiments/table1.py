@@ -1,0 +1,77 @@
+"""Table I: experimental setup.
+
+Prints the reproduction's equivalent of the paper's Table I — the scaled
+cache geometry, memory organization and timing, and CPU model — next to
+the paper's values, making the scale factor explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..common.config import CpuConfig, MemoryConfig
+from ..core.results import format_table
+from ..core.system import (
+    LLC_SIZES,
+    RESIDENT_LLC_BYTES,
+    make_system,
+)
+
+
+@dataclass
+class Table1Result:
+    """Rows of (parameter, paper value, this reproduction)."""
+
+    rows: List[Tuple[str, str, str]]
+
+    def report(self) -> str:
+        return format_table(("parameter", "paper", "this repo"),
+                            self.rows)
+
+
+def run_table1() -> Table1Result:
+    """Collect the setup table from live configuration objects."""
+    system = make_system("1P2L", llc_mb=1.0)
+    l1, l2, l3 = system.levels
+    mem = MemoryConfig()
+    cpu = CpuConfig()
+    llc_list = "/".join(str(b // 1024) for b in
+                        (LLC_SIZES[k] for k in sorted(LLC_SIZES)))
+    rows = [
+        ("CPU", "X86 OoO, 3 GHz (gem5)",
+         f"trace-driven, MLP window {cpu.mlp_window}"),
+        ("L1 D-cache", "32KB, 4-way, 2c tag + 2c data, parallel",
+         f"{l1.size_bytes // 1024}KB, {l1.assoc}-way, "
+         f"{l1.tag_latency}c tag + {l1.data_latency}c data, parallel"),
+        ("L2", "256KB, 8-way, 6c tag + 9c data, sequential",
+         f"{l2.size_bytes // 1024}KB, {l2.assoc}-way, "
+         f"{l2.tag_latency}c tag + {l2.data_latency}c data, sequential"),
+        ("L3 (LLC)", "1/1.5/2/4MB, 8-way, 8c tag + 12c data",
+         f"{llc_list}KB, {l3.assoc}-way, "
+         f"{l3.tag_latency}c tag + {l3.data_latency}c data"),
+        ("L2-as-LLC (resident)", "2MB, 8-way",
+         f"{RESIDENT_LLC_BYTES // 1024}KB, 8-way"),
+        ("Main memory", "4GB STT-RAM (NVMain), 4 channels",
+         f"MDA STT model, {mem.channels} channels x "
+         f"{mem.ranks_per_channel} rank x {mem.banks_per_rank} banks"),
+        ("Memory controller", "FRFCFS-WQF, open page",
+         f"FRFCFS-WQF (wq {mem.write_queue_low}/"
+         f"{mem.write_queue_high}), open page, both buffers"),
+        ("Array timings", "Everspin STT parameters",
+         f"act {mem.activate_cycles}c, access "
+         f"{mem.buffer_access_cycles}c, write {mem.write_cycles}c, "
+         f"burst {mem.burst_cycles}c, col decode "
+         f"+{mem.column_decode_extra}c"),
+        ("Inputs", "256x256 / 512x512 (htap 2048x256/512)",
+         "32x32 / 64x64 (htap 256x32/64); scale S=8"),
+    ]
+    return Table1Result(rows)
+
+
+def main() -> None:
+    print(run_table1().report())
+
+
+if __name__ == "__main__":
+    main()

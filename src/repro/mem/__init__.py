@@ -1,0 +1,14 @@
+"""MDA main memory model: decode, crosspoint banks, controller."""
+
+from .bank import CrosspointBank
+from .controller import MemoryController
+from .decoder import AddressDecoder, DecodedLine
+from .mda_memory import MdaMemory
+
+__all__ = [
+    "AddressDecoder",
+    "CrosspointBank",
+    "DecodedLine",
+    "MdaMemory",
+    "MemoryController",
+]

@@ -1,0 +1,102 @@
+"""A crosspoint bank with both a row buffer and a column buffer.
+
+This is the timing heart of the MDA memory (paper Section III, Figs. 2-6):
+the array can open either a physical row into the row buffer or a
+physical column into the column buffer, and subsequent accesses along the
+open dimension are buffer hits.  Bit-slicing (Fig. 5/6) is what makes a
+column activation deliver whole *words*; at this abstraction level it
+appears simply as the column buffer existing at all, plus the one-cycle
+column-decode adder charged by the controller.
+
+Open-page policy (Table I): buffers stay open until a conflicting
+activation replaces them.  ``MemoryConfig.sub_buffers`` > 1 enables the
+multiple sub-row-buffer scheme of Gulur et al. that the paper compares
+against (Section IX-B): each bank then keeps that many rows *and*
+columns open, with FIFO replacement among them.  The paper found "less
+than 1% impact" for single-threaded runs — the ablation bench checks
+the same holds here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.config import MemoryConfig
+from ..common.stats import StatGroup
+from ..common.types import Orientation
+
+
+class CrosspointBank:
+    """Timing state for one bank: open buffers and busy horizon."""
+
+    def __init__(self, config: MemoryConfig, stats: StatGroup) -> None:
+        self._config = config
+        self._stats = stats
+        # Most recently opened entry last; capped at config.sub_buffers.
+        self._open_rows: List[int] = []
+        self._open_cols: List[int] = []
+        self._busy_until = 0
+
+    @property
+    def open_row(self) -> Optional[int]:
+        """Most recently opened row (None when nothing is open)."""
+        return self._open_rows[-1] if self._open_rows else None
+
+    @property
+    def open_col(self) -> Optional[int]:
+        return self._open_cols[-1] if self._open_cols else None
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+    def would_hit(self, orientation: Orientation, buffer_key: int) -> bool:
+        """True if an access now would be a buffer hit (FR-FCFS input)."""
+        buffers = (self._open_rows if orientation is Orientation.ROW
+                   else self._open_cols)
+        return buffer_key in buffers
+
+    def access(self, orientation: Orientation, buffer_key: int,
+               is_write: bool, at: int) -> int:
+        """Service one line access; returns first-data-ready time.
+
+        The bank is occupied from ``max(at, busy_until)`` until the
+        returned time.  A buffer miss pays an activation; writes pay the
+        (slower, for STT) array write instead of the buffer read.
+        """
+        config = self._config
+        start = max(at, self._busy_until)
+        cost = 0
+        if self.would_hit(orientation, buffer_key):
+            self._stats.add("buffer_hits")
+            self._stats.add("row_buffer_hits" if orientation is
+                            Orientation.ROW else "col_buffer_hits")
+        else:
+            cost += config.scaled(config.activate_cycles)
+            self._stats.add("buffer_misses")
+            self._stats.add("row_buffer_misses" if orientation is
+                            Orientation.ROW else "col_buffer_misses")
+            self._open(orientation, buffer_key)
+        if is_write:
+            cost += config.scaled(config.write_cycles)
+            self._stats.add("writes")
+        else:
+            cost += config.scaled(config.buffer_access_cycles)
+            self._stats.add("reads")
+        if orientation is Orientation.COLUMN:
+            cost += config.column_decode_extra
+        ready = start + cost
+        self._busy_until = ready
+        return ready
+
+    def _open(self, orientation: Orientation, buffer_key: int) -> None:
+        buffers = (self._open_rows if orientation is Orientation.ROW
+                   else self._open_cols)
+        buffers.append(buffer_key)
+        if len(buffers) > self._config.sub_buffers:
+            buffers.pop(0)
+
+    def reset(self) -> None:
+        self._open_rows.clear()
+        self._open_cols.clear()
+        self._busy_until = 0

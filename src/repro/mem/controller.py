@@ -1,0 +1,168 @@
+"""FRFCFS-WQF memory controller for the MDA memory (paper Table I).
+
+The controller models the pieces of FR-FCFS / write-queue-first scheduling
+that matter for a single-threaded trace:
+
+* **open-page preference** — buffer hits are cheap because banks keep
+  their row and column buffers open (:class:`CrosspointBank`);
+* **posted writes** — writebacks enter a per-channel write queue and are
+  acknowledged immediately; the queue drains to the low watermark when it
+  fills past the high watermark, pushing bank and bus horizons forward
+  (this is where write traffic interferes with reads);
+* **overlap ordering** — a read that overlaps any queued write (same
+  oriented line, or a perpendicular line in the same tile) forces those
+  writes to drain first.  Together with the 2-D MSHRs this implements the
+  paper's requirement that "transactions that have overlapping words
+  should be ordered, even if the access directions are different".
+
+Data-bus occupancy is tracked per channel; reads complete for the
+requester at critical-word-first time while the full burst occupies the
+bus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..common.config import MemoryConfig
+from ..common.stats import StatRegistry
+from ..common.types import LINE_BYTES, WORDS_PER_LINE, lines_overlap
+from .bank import CrosspointBank
+from .decoder import AddressDecoder, DecodedLine
+
+
+class _Channel:
+    """Per-channel bus horizon and pending write queue."""
+
+    __slots__ = ("bus_free_at", "write_queue")
+
+    def __init__(self) -> None:
+        self.bus_free_at = 0
+        self.write_queue: List[Tuple[int, DecodedLine]] = []
+
+
+class MemoryController:
+    """Schedules decoded line requests onto banks and buses."""
+
+    def __init__(self, config: MemoryConfig, stats: StatRegistry) -> None:
+        self._config = config
+        self._decoder = AddressDecoder(config)
+        self._stats = stats.group("memory")
+        bank_stats = stats.group("memory.banks")
+        total_banks = (config.channels * config.ranks_per_channel
+                       * config.banks_per_rank)
+        self._banks = [CrosspointBank(config, bank_stats)
+                       for _ in range(total_banks)]
+        self._channels = [_Channel() for _ in range(config.channels)]
+        # Critical-word-first: the requester waits only for the first
+        # word's share of the burst.
+        self._critical_beats = max(1, config.burst_cycles // WORDS_PER_LINE)
+
+    @property
+    def decoder(self) -> AddressDecoder:
+        return self._decoder
+
+    def read_line(self, line_id: int, now: int) -> int:
+        """Service a line read; returns critical-word completion time."""
+        decoded = self._decoder.decode_line(line_id)
+        channel = self._channels[decoded.channel]
+        self._drain_idle(channel, now)
+        self._drain_overlapping(channel, line_id, now)
+        if len(channel.write_queue) >= self._config.write_queue_high:
+            self._drain_to_low(channel, now)
+        bank = self._banks[self._decoder.bank_key(decoded)]
+        data_ready = bank.access(decoded.orientation, decoded.buffer_key,
+                                 is_write=False, at=now)
+        first_beat = max(data_ready, channel.bus_free_at)
+        channel.bus_free_at = first_beat + self._config.burst_cycles
+        completion = first_beat + self._critical_beats
+        self._stats.add("line_reads")
+        self._stats.add("bytes_read", LINE_BYTES)
+        self._stats.add("read_cycles", completion - now)
+        return completion
+
+    def write_line(self, line_id: int, now: int) -> int:
+        """Post a line writeback; returns the (cheap) ack time."""
+        decoded = self._decoder.decode_line(line_id)
+        channel = self._channels[decoded.channel]
+        self._drain_idle(channel, now)
+        channel.write_queue.append((line_id, decoded))
+        self._stats.add("line_writes")
+        self._stats.add("bytes_written", LINE_BYTES)
+        if len(channel.write_queue) >= self._config.write_queue_high:
+            self._drain_to_low(channel, now)
+        return now + 1
+
+    def drain_all(self, now: int) -> int:
+        """Flush every queued write (end-of-simulation); returns horizon."""
+        horizon = now
+        for channel in self._channels:
+            while channel.write_queue:
+                horizon = max(horizon,
+                              self._drain_one(channel, horizon))
+        return horizon
+
+    # -- internals ----------------------------------------------------------
+
+    def _drain_overlapping(self, channel: _Channel, line_id: int,
+                           now: int) -> None:
+        """Drain queued writes whose words overlap ``line_id``."""
+        if not channel.write_queue:
+            return
+        keep: List[Tuple[int, DecodedLine]] = []
+        for entry in channel.write_queue:
+            if lines_overlap(entry[0], line_id):
+                self._service_write(channel, entry, now)
+                self._stats.add("ordering_drains")
+            else:
+                keep.append(entry)
+        channel.write_queue = keep
+
+    def _drain_idle(self, channel: _Channel, now: int) -> None:
+        """Opportunistic FR-FCFS write drain into idle bus time.
+
+        Any queued write that fits before ``now`` on the (otherwise
+        idle) data bus is retired in that window, so writebacks do not
+        linger until a later overlapping read pays for them.
+        """
+        while channel.write_queue and channel.bus_free_at < now:
+            self._drain_one(channel, channel.bus_free_at)
+            self._stats.add("idle_drains")
+
+    def _drain_to_low(self, channel: _Channel, now: int) -> None:
+        """WQF drain: shrink the write queue to the low watermark."""
+        self._stats.add("wq_drain_episodes")
+        while len(channel.write_queue) > self._config.write_queue_low:
+            self._drain_one(channel, now)
+
+    def _drain_one(self, channel: _Channel, now: int) -> int:
+        entry = channel.write_queue.pop(0)
+        return self._service_write(channel, entry, now)
+
+    def _service_write(self, channel: _Channel,
+                       entry: Tuple[int, DecodedLine], now: int) -> int:
+        """Move one queued write through the bus and its bank."""
+        _, decoded = entry
+        data_at = max(now, channel.bus_free_at)
+        channel.bus_free_at = data_at + self._config.burst_cycles
+        bank = self._banks[self._decoder.bank_key(decoded)]
+        done = bank.access(decoded.orientation, decoded.buffer_key,
+                           is_write=True, at=data_at)
+        self._stats.add("writes_drained")
+        return done
+
+    def reset(self) -> None:
+        for bank in self._banks:
+            bank.reset()
+        for channel in self._channels:
+            channel.bus_free_at = 0
+            channel.write_queue.clear()
+
+    def pending_writes(self) -> int:
+        """Total writes currently queued across channels."""
+        return sum(len(ch.write_queue) for ch in self._channels)
+
+    def bank_states(self) -> Dict[int, Tuple[object, object]]:
+        """Open (row, column) buffer keys per bank index (debugging)."""
+        return {i: (bank.open_row, bank.open_col)
+                for i, bank in enumerate(self._banks)}

@@ -1,0 +1,121 @@
+"""MDA address decode (paper Fig. 8).
+
+The physical address is partitioned, LSB to MSB, as::
+
+    | byte (3) | row word offset (3) | col word offset (3) |   <- one tile
+    | CH | RK | BK | C (tile-column select) | R (tile-row select) |
+
+The nine low bits address one 512-byte tile, so channel / rank / bank
+interleaving operates on whole tiles ("a column aligned tile is the unit
+of interleaving") and never splits a column line across banks.  The
+channel, rank, and bank bits sit directly above the tile offset — "we
+push the selection of bank, rank, and channel bits as much as possible
+toward the LSB to enhance channel, rank and bank-level parallelism".
+
+Within a bank, tiles form a ``C x R`` grid.  The bank's **row buffer**
+holds one physical array row: every word with tile-row select ``R`` and
+in-tile row ``r`` across all ``C`` tile columns.  The **column buffer**
+symmetrically holds one physical array column: every word with tile
+column ``C`` and in-tile column ``c`` across all tile rows.  Buffer-hit
+timing therefore keys on ``(R, r)`` for rows and ``(C, c)`` for columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import MemoryConfig
+from ..common.types import Orientation, line_id_parts
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedLine:
+    """A line request decoded to its physical location.
+
+    Attributes:
+        channel / rank / bank: topology coordinates.
+        row_id: physical row index within the bank, ``R * 8 + r``
+            (meaningful for ROW-oriented accesses).
+        col_id: physical column index within the bank, ``C * 8 + c``
+            (meaningful for COLUMN-oriented accesses).
+        orientation: access orientation the line was requested in.
+        tile: global tile index (used for overlap checks).
+        index: line index within the tile (``r`` for rows, ``c`` for
+            columns).
+    """
+
+    channel: int
+    rank: int
+    bank: int
+    row_id: int
+    col_id: int
+    orientation: Orientation
+    tile: int
+    index: int
+
+    @property
+    def buffer_key(self) -> int:
+        """Buffer-hit key in the buffer matching the orientation."""
+        if self.orientation is Orientation.ROW:
+            return self.row_id
+        return self.col_id
+
+
+class AddressDecoder:
+    """Maps oriented line ids to channels, ranks, banks, and buffers."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self._config = config
+        self._ch_bits = _log2(config.channels)
+        self._rk_bits = _log2(config.ranks_per_channel)
+        self._bk_bits = _log2(config.banks_per_rank)
+        self._c_bits = _log2(config.tile_cols_per_bank)
+        self._ch_mask = config.channels - 1
+        self._rk_mask = config.ranks_per_channel - 1
+        self._bk_mask = config.banks_per_rank - 1
+        self._c_mask = config.tile_cols_per_bank - 1
+
+    @property
+    def config(self) -> MemoryConfig:
+        return self._config
+
+    def decode_line(self, line_id: int) -> DecodedLine:
+        """Decode an oriented line id (see :mod:`repro.common.types`)."""
+        tile, orientation, index = line_id_parts(line_id)
+        bits = tile
+        channel = bits & self._ch_mask
+        bits >>= self._ch_bits
+        rank = bits & self._rk_mask
+        bits >>= self._rk_bits
+        bank = bits & self._bk_mask
+        bits >>= self._bk_bits
+        tile_col = bits & self._c_mask
+        tile_row = bits >> self._c_bits
+        if orientation is Orientation.ROW:
+            row_id = tile_row * 8 + index
+            col_id = tile_col * 8  # first column the line crosses
+        else:
+            row_id = tile_row * 8  # first row the line crosses
+            col_id = tile_col * 8 + index
+        return DecodedLine(
+            channel=channel,
+            rank=rank,
+            bank=bank,
+            row_id=row_id,
+            col_id=col_id,
+            orientation=orientation,
+            tile=tile,
+            index=index,
+        )
+
+    def bank_key(self, decoded: DecodedLine) -> int:
+        """Dense index of the (channel, rank, bank) triple."""
+        per_channel = (self._config.ranks_per_channel
+                       * self._config.banks_per_rank)
+        return (decoded.channel * per_channel
+                + decoded.rank * self._config.banks_per_rank
+                + decoded.bank)

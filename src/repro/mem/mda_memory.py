@@ -1,0 +1,57 @@
+"""Top-level MDA main memory.
+
+Presents the interface the LLC uses (paper Section IV-B, "Cache <->
+MDA memory"): oriented line reads that "will always receive the line in
+the requested orientation", oriented line writebacks, and
+critical-word-first completion times.  All the interesting behavior lives
+in :class:`~repro.mem.controller.MemoryController`; this wrapper exists so
+the cache hierarchy depends on a two-method protocol rather than on the
+controller internals, and so a conventional (row-only) memory can be
+modeled by the same class with column accesses rejected.
+"""
+
+from __future__ import annotations
+
+from ..common.config import MemoryConfig
+from ..common.errors import SimulationError
+from ..common.stats import StatRegistry
+from ..common.types import Orientation, line_orientation
+from .controller import MemoryController
+
+
+class MdaMemory:
+    """MDA main memory: serves oriented line reads and writebacks."""
+
+    def __init__(self, config: MemoryConfig, stats: StatRegistry,
+                 allow_column: bool = True) -> None:
+        self._config = config
+        self._controller = MemoryController(config, stats)
+        self._allow_column = allow_column
+
+    @property
+    def config(self) -> MemoryConfig:
+        return self._config
+
+    @property
+    def controller(self) -> MemoryController:
+        return self._controller
+
+    def read_line(self, line_id: int, now: int) -> int:
+        """Fetch an oriented line; returns critical-word-ready time."""
+        self._check_orientation(line_id)
+        return self._controller.read_line(line_id, now)
+
+    def write_line(self, line_id: int, now: int) -> int:
+        """Post an oriented line writeback; returns ack time."""
+        self._check_orientation(line_id)
+        return self._controller.write_line(line_id, now)
+
+    def finish(self, now: int) -> int:
+        """Drain pending writes; returns the final memory horizon."""
+        return self._controller.drain_all(now)
+
+    def _check_orientation(self, line_id: int) -> None:
+        if (not self._allow_column
+                and line_orientation(line_id) is Orientation.COLUMN):
+            raise SimulationError(
+                "column access issued to a memory configured row-only")

@@ -1,0 +1,153 @@
+"""Memory layouts: linear row-major and MDA-compliant tiled.
+
+Paper Section V, second bullet: the compiler must "match the dimension
+sizes of the array data structures to the dimensions of the MDA memory"
+via intra-array padding, so that elements in the same logical column
+"map to the same column in the MDA memory structure".
+
+In this model the physical address space is itself organized in aligned
+512-byte tiles (see :mod:`repro.common.types`), so MDA compliance means
+a **tiled layout**: pad both dimensions to multiples of 8 and place each
+8x8 element tile of the array in one physical tile.  The conventional
+**linear layout** is plain row-major (padded only to line alignment) —
+the "1-D optimized" layout every logically 1-D experiment uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from ..common.errors import AddressError, ProgramError
+from ..common.types import (
+    LINE_BYTES,
+    TILE_BYTES,
+    WORD_BYTES,
+    word_addr,
+)
+from .program import ArrayDecl
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return (value + multiple - 1) // multiple * multiple
+
+
+class Layout(abc.ABC):
+    """Maps (array, i, j) to physical byte addresses."""
+
+    def __init__(self, arrays: List[ArrayDecl]) -> None:
+        self._arrays: Dict[str, ArrayDecl] = {}
+        for decl in arrays:
+            if decl.name in self._arrays:
+                raise ProgramError(f"duplicate array {decl.name!r}")
+            self._arrays[decl.name] = decl
+
+    @abc.abstractmethod
+    def address_of(self, array: str, i: int, j: int) -> int:
+        """Physical byte address of element ``array[i][j]``."""
+
+    @abc.abstractmethod
+    def footprint_bytes(self) -> int:
+        """Total mapped bytes, padding included."""
+
+    def data_bytes(self) -> int:
+        """Bytes of live data (padding excluded)."""
+        return sum(a.elements * WORD_BYTES for a in self._arrays.values())
+
+    def padding_bytes(self) -> int:
+        return self.footprint_bytes() - self.data_bytes()
+
+    def _decl(self, array: str) -> ArrayDecl:
+        try:
+            return self._arrays[array]
+        except KeyError:
+            raise AddressError(f"unknown array {array!r}") from None
+
+    def _check_bounds(self, decl: ArrayDecl, i: int, j: int) -> None:
+        if not (0 <= i < decl.rows and 0 <= j < decl.cols):
+            raise AddressError(
+                f"{decl.name}[{i}][{j}] out of bounds "
+                f"({decl.rows}x{decl.cols})")
+
+
+class LinearLayout(Layout):
+    """Row-major, line-aligned arrays — the 1-D optimized layout."""
+
+    def __init__(self, arrays: List[ArrayDecl]) -> None:
+        super().__init__(arrays)
+        self._base: Dict[str, int] = {}
+        self._pitch: Dict[str, int] = {}
+        cursor = 0
+        for decl in arrays:
+            # Pad the pitch to a whole line so rows are vector-aligned.
+            # Deliberately *no* conflict-avoiding padding beyond that:
+            # the paper's 1-D layout is plain "row-major (as in
+            # C-language)", whose power-of-two pitches give column
+            # walks the classic set-conflict pathology — part of what
+            # MDA caching rescues (see EXPERIMENTS.md fidelity notes).
+            pitch = _round_up(decl.cols, LINE_BYTES // WORD_BYTES)
+            self._base[decl.name] = cursor
+            self._pitch[decl.name] = pitch
+            cursor += _round_up(decl.rows * pitch * WORD_BYTES, LINE_BYTES)
+        self._footprint = cursor
+
+    def address_of(self, array: str, i: int, j: int) -> int:
+        decl = self._decl(array)
+        self._check_bounds(decl, i, j)
+        return (self._base[array]
+                + (i * self._pitch[array] + j) * WORD_BYTES)
+
+    def pitch_words(self, array: str) -> int:
+        return self._pitch[array]
+
+    def footprint_bytes(self) -> int:
+        return self._footprint
+
+
+class TiledLayout(Layout):
+    """MDA-compliant tiled layout (intra-array padding to 8x8 tiles).
+
+    Element ``(i, j)`` lands in the physical tile at grid position
+    ``(i // 8, j // 8)`` of its array, at in-tile coordinates
+    ``(i % 8, j % 8)`` — so each logical 8-row column segment is one
+    column line and each logical 8-element row segment is one row line.
+    """
+
+    def __init__(self, arrays: List[ArrayDecl]) -> None:
+        super().__init__(arrays)
+        self._base_tile: Dict[str, int] = {}
+        self._tile_cols: Dict[str, int] = {}
+        cursor = 0  # in tiles
+        for decl in arrays:
+            tile_rows = _round_up(decl.rows, 8) // 8
+            tile_cols = _round_up(decl.cols, 8) // 8
+            self._base_tile[decl.name] = cursor
+            self._tile_cols[decl.name] = tile_cols
+            cursor += tile_rows * tile_cols
+        self._footprint = cursor * TILE_BYTES
+
+    def address_of(self, array: str, i: int, j: int) -> int:
+        decl = self._decl(array)
+        self._check_bounds(decl, i, j)
+        tile = (self._base_tile[array]
+                + (i // 8) * self._tile_cols[array] + (j // 8))
+        return word_addr(tile, i % 8, j % 8)
+
+    def tile_of(self, array: str, i: int, j: int) -> int:
+        """Tile index holding element (i, j) (for tests)."""
+        decl = self._decl(array)
+        self._check_bounds(decl, i, j)
+        return (self._base_tile[array]
+                + (i // 8) * self._tile_cols[array] + (j // 8))
+
+    def footprint_bytes(self) -> int:
+        return self._footprint
+
+
+def make_layout(arrays: List[ArrayDecl], logical_dims: int) -> Layout:
+    """The paper's rule: layout always matches the hierarchy's logical
+    dimensionality ("we will always use the memory layout optimized for
+    the appropriate logical dimensionality of the cache hierarchy")."""
+    if logical_dims == 2:
+        return TiledLayout(arrays)
+    return LinearLayout(arrays)

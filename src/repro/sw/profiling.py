@@ -1,0 +1,112 @@
+"""Profiling-based orientation annotation (paper Section V).
+
+"In cases where a data reference in the target code does not exhibit a
+strong row or column preference that can be detected by the compiler,
+we can employ profiling.  More specifically, profiling can be used to
+extract directional bias and then the corresponding static load/store
+instructions can be annotated as suggested by the profiler."
+
+:func:`profile_directions` walks a program's iteration space once per
+undiscerned reference and counts, along the access order, how often the
+current *row line* and *column line* change.  The orientation whose
+line switches less often has the denser spatial locality — fetching
+along it amortizes each line over more accesses — and becomes the
+annotation.  (Counting distinct lines would not work: any reference
+covering a full rectangle touches the same number of row and column
+lines regardless of its walk order.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from ..common.types import Orientation, line_id_of
+from .directions import analyze_ref
+from .layout import Layout, TiledLayout
+from .program import ArrayRef, LoopNest, Program
+
+
+@dataclass(frozen=True)
+class ProfileVerdict:
+    """Profiler outcome for one undiscerned static reference.
+
+    ``row_switches``/``col_switches`` count how often the access walk
+    left its current row/column line.
+    """
+
+    nest: str
+    array: str
+    row_switches: int
+    col_switches: int
+
+    @property
+    def orientation(self) -> Orientation:
+        """The orientation that switches lines less often wins; ties
+        keep the default row preference."""
+        if self.row_switches < self.col_switches:
+            return Orientation.ROW
+        if self.col_switches < self.row_switches:
+            return Orientation.COLUMN
+        return Orientation.ROW
+
+
+def _iterate_ref(nest: LoopNest, ref: ArrayRef,
+                 layout: Layout) -> Iterator[int]:
+    """Element addresses a ref touches over its governing loops."""
+    depth = ref.depth or len(nest.loops)
+
+    def walk(level: int, env: Dict[str, int]) -> Iterator[int]:
+        if level == depth:
+            yield layout.address_of(ref.array.name,
+                                    ref.row.evaluate(env),
+                                    ref.col.evaluate(env))
+            return
+        loop = nest.loops[level]
+        for value in range(loop.lower.evaluate(env),
+                           loop.upper.evaluate(env)):
+            env[loop.var] = value
+            yield from walk(level + 1, env)
+        env.pop(loop.var, None)
+
+    return walk(0, {})
+
+
+def profile_ref(nest: LoopNest, ref: ArrayRef,
+                layout: Layout) -> ProfileVerdict:
+    """Count row-line and column-line switches along the access walk."""
+    row_switches = 0
+    col_switches = 0
+    prev_row = prev_col = None
+    for addr in _iterate_ref(nest, ref, layout):
+        row = line_id_of(addr, Orientation.ROW)
+        col = line_id_of(addr, Orientation.COLUMN)
+        if row != prev_row:
+            row_switches += 1
+            prev_row = row
+        if col != prev_col:
+            col_switches += 1
+            prev_col = col
+    return ProfileVerdict(nest=nest.name, array=ref.array.name,
+                          row_switches=row_switches,
+                          col_switches=col_switches)
+
+
+def profile_directions(program: Program) \
+        -> Dict[Tuple[str, int], ProfileVerdict]:
+    """Profile every reference the static analysis could not discern.
+
+    Returns a map from ``(nest name, ref position)`` to the verdict;
+    discerned references are skipped (static analysis already has the
+    answer and profiling costs a full traversal).
+    """
+    layout = TiledLayout(program.arrays)
+    verdicts: Dict[Tuple[str, int], ProfileVerdict] = {}
+    for nest in program.nests:
+        for position, ref in enumerate(nest.resolved_refs()):
+            info = analyze_ref(nest, ref)
+            if info.discerned or info.invariant:
+                continue
+            verdicts[(nest.name, position)] = profile_ref(nest, ref,
+                                                          layout)
+    return verdicts

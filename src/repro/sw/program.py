@@ -1,0 +1,224 @@
+"""Program IR: affine loop nests over 2-D arrays.
+
+The compiler support of paper Section V operates on "frequently-used
+computational kernels" whose array subscripts are affine in the loop
+variables — exactly what this tiny IR expresses.  A
+:class:`Program` is a sequence of :class:`LoopNest`; each nest carries
+perfectly-nested loops (bounds may be affine in outer variables, which
+covers the triangular ``strmm``) and a list of :class:`ArrayRef`.
+
+A ref's ``depth`` says how many enclosing loops it executes under: a ref
+at full depth runs every innermost iteration; a ref at smaller depth
+models register-carried values (e.g. the ``sum`` accumulator write in
+matrix multiplication, which touches ``MatOut[i][j]`` once per (i, j)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+from ..common.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine expression ``sum(coeff * var) + const``."""
+
+    coeffs: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def of(var: str, coeff: int = 1, const: int = 0) -> "Affine":
+        """Shorthand for ``coeff * var + const``."""
+        if coeff == 0:
+            return Affine((), const)
+        return Affine(((var, coeff),), const)
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine((), value)
+
+    def coeff(self, var: str) -> int:
+        """Coefficient of ``var`` (0 when absent)."""
+        for name, value in self.coeffs:
+            if name == var:
+                return value
+        return 0
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coeffs)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Value of the expression under a loop-variable binding."""
+        total = self.const
+        for name, coeff in self.coeffs:
+            try:
+                total += coeff * env[name]
+            except KeyError:
+                raise ProgramError(f"unbound loop variable {name!r}") \
+                    from None
+        return total
+
+    def __add__(self, other: Union["Affine", int]) -> "Affine":
+        if isinstance(other, int):
+            return Affine(self.coeffs, self.const + other)
+        merged: Dict[str, int] = dict(self.coeffs)
+        for name, coeff in other.coeffs:
+            merged[name] = merged.get(name, 0) + coeff
+        coeffs = tuple(sorted((n, c) for n, c in merged.items() if c))
+        return Affine(coeffs, self.const + other.const)
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{n}" if c != 1 else n for n, c in self.coeffs]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A logically 2-D array of 64-bit elements."""
+
+    name: str
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ProgramError(f"array {self.name}: empty shape")
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One static array reference inside a nest.
+
+    Attributes:
+        array: the referenced array.
+        row / col: affine subscripts.
+        is_write: store versus load.
+        depth: number of enclosing loops (defaults to the full nest when
+            left at 0; resolved by :meth:`LoopNest.resolved_refs`).
+        when: for refs above full depth, whether they execute "before"
+            or "after" the loops below them (accumulator reads happen
+            before the reduction loop, the final store after it).
+    """
+
+    array: ArrayDecl
+    row: Affine
+    col: Affine
+    is_write: bool = False
+    depth: int = 0
+    when: str = "before"
+
+    def __post_init__(self) -> None:
+        if self.when not in ("before", "after"):
+            raise ProgramError(f"bad ref position {self.when!r}")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A normalized loop ``for var in range(lower, upper)``.
+
+    Bounds are affine in *outer* loop variables (triangular nests).
+    """
+
+    var: str
+    lower: Affine
+    upper: Affine
+
+    @staticmethod
+    def over(var: str, extent: int) -> "Loop":
+        return Loop(var, Affine.constant(0), Affine.constant(extent))
+
+    @staticmethod
+    def bounded(var: str, lower: Union[int, Affine],
+                upper: Union[int, Affine]) -> "Loop":
+        low = Affine.constant(lower) if isinstance(lower, int) else lower
+        high = Affine.constant(upper) if isinstance(upper, int) else upper
+        return Loop(var, low, high)
+
+
+@dataclass
+class LoopNest:
+    """Perfectly nested loops with refs attached at arbitrary depths."""
+
+    name: str
+    loops: List[Loop]
+    refs: List[ArrayRef] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ProgramError(f"nest {self.name}: no loops")
+        seen = set()
+        for loop in self.loops:
+            if loop.var in seen:
+                raise ProgramError(
+                    f"nest {self.name}: duplicate loop var {loop.var!r}")
+            seen.add(loop.var)
+        for ref in self.refs:
+            for var in (*ref.row.variables(), *ref.col.variables()):
+                if var not in seen:
+                    raise ProgramError(
+                        f"nest {self.name}: ref uses unbound {var!r}")
+
+    @property
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+    def resolved_refs(self) -> List[ArrayRef]:
+        """Refs with depth 0 resolved to the full nest depth."""
+        full = len(self.loops)
+        out = []
+        for ref in self.refs:
+            depth = ref.depth or full
+            if not 1 <= depth <= full:
+                raise ProgramError(
+                    f"nest {self.name}: ref depth {depth} out of range")
+            if depth != ref.depth:
+                ref = ArrayRef(ref.array, ref.row, ref.col, ref.is_write,
+                               depth, ref.when)
+            out.append(ref)
+        return out
+
+    def controlling_var(self, ref: ArrayRef) -> str:
+        """Fastest-changing loop variable governing ``ref``."""
+        depth = ref.depth or len(self.loops)
+        return self.loops[depth - 1].var
+
+
+@dataclass
+class Program:
+    """A named kernel: its arrays and its loop nests, in order."""
+
+    name: str
+    arrays: List[ArrayDecl]
+    nests: List[LoopNest]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise ProgramError(f"{self.name}: duplicate array names")
+        declared = set(names)
+        for nest in self.nests:
+            for ref in nest.refs:
+                if ref.array.name not in declared:
+                    raise ProgramError(
+                        f"{self.name}: nest {nest.name} references "
+                        f"undeclared array {ref.array.name!r}")
+
+    def array(self, name: str) -> ArrayDecl:
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise ProgramError(f"{self.name}: no array named {name!r}")
+
+    def static_refs(self) -> Iterable[Tuple[LoopNest, ArrayRef]]:
+        """All (nest, ref) pairs, in program order."""
+        for nest in self.nests:
+            for ref in nest.resolved_refs():
+                yield nest, ref

@@ -1,0 +1,109 @@
+"""Iteration-space tiling (paper Section X, future work).
+
+"The compiler can tile a loop nest such that the tile size (in each
+dimension) matches the 2-D block size used by the 2P2L cache or a
+desirable multiple thereof.  We expect such hardware-software
+collaborative tiling to generate better results than software tiling or
+hardware tiling (2P2L) alone."
+
+:func:`tile_nest` strip-mines the selected loops: each tiled loop
+``for v in range(0, N)`` becomes an outer tile loop ``v__t`` over
+``N // T`` tiles and an inner point loop ``v`` over ``[T*v__t,
+T*v__t + T)``.  References are untouched — they still subscript with
+the original variables.  Only rectangular (constant-bound) loops can be
+tiled; triangular nests like strmm keep their loops as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..common.errors import ProgramError
+from .program import Affine, ArrayRef, Loop, LoopNest, Program
+
+TILE_SUFFIX = "__t"
+
+
+def _is_constant(expr: Affine) -> bool:
+    return not expr.coeffs
+
+
+def tile_nest(nest: LoopNest, tile_sizes: Dict[str, int]) -> LoopNest:
+    """Strip-mine the loops named in ``tile_sizes``.
+
+    Args:
+        nest: the nest to transform.
+        tile_sizes: loop variable -> tile extent.  Every named loop must
+            exist, have constant bounds, and a trip count divisible by
+            its tile extent.
+
+    Returns:
+        A new nest with the tile loops outermost (in original loop
+        order), then every original loop with adjusted bounds.
+    """
+    by_var = {loop.var: loop for loop in nest.loops}
+    for var, size in tile_sizes.items():
+        if var not in by_var:
+            raise ProgramError(f"nest {nest.name}: no loop {var!r}")
+        loop = by_var[var]
+        if not (_is_constant(loop.lower) and _is_constant(loop.upper)):
+            raise ProgramError(
+                f"nest {nest.name}: loop {var!r} has non-rectangular "
+                f"bounds and cannot be tiled")
+        trip = loop.upper.const - loop.lower.const
+        if size < 1 or trip % size != 0:
+            raise ProgramError(
+                f"nest {nest.name}: trip count {trip} of {var!r} not "
+                f"divisible by tile size {size}")
+
+    resolved_refs = nest.resolved_refs()
+    tile_loops: List[Loop] = []
+    point_loops: List[Loop] = []
+    for loop in nest.loops:
+        if loop.var not in tile_sizes:
+            point_loops.append(loop)
+            continue
+        size = tile_sizes[loop.var]
+        base = loop.lower.const
+        trips = (loop.upper.const - base) // size
+        tile_var = loop.var + TILE_SUFFIX
+        tile_loops.append(Loop.over(tile_var, trips))
+        point_loops.append(Loop(
+            loop.var,
+            Affine.of(tile_var, coeff=size, const=base),
+            Affine.of(tile_var, coeff=size, const=base + size),
+        ))
+    # Shift every ref below the new tile loops: a ref that ran under
+    # the first d original loops now runs under all tile loops plus the
+    # first d point loops.  (An accumulator carried across the
+    # innermost loop is now written once per k-tile — exactly what real
+    # tiled code does with its partial sums.)
+    shifted = [ArrayRef(ref.array, ref.row, ref.col, ref.is_write,
+                        depth=len(tile_loops) + ref.depth, when=ref.when)
+               for ref in resolved_refs]
+    return LoopNest(name=f"{nest.name}_tiled",
+                    loops=tile_loops + point_loops,
+                    refs=shifted)
+
+
+def tile_program(program: Program, tile_sizes: Dict[str, int],
+                 only_rectangular: bool = True) -> Program:
+    """Tile every nest of a program where the named loops qualify.
+
+    Nests whose named loops are missing or non-rectangular are kept
+    unchanged when ``only_rectangular`` is True (the default), instead
+    of failing — convenient for programs that mix shapes (ssyrk's
+    product nest plus its 2-D rescale pass).
+    """
+    nests: List[LoopNest] = []
+    for nest in program.nests:
+        applicable = {var: size for var, size in tile_sizes.items()
+                      if var in {loop.var for loop in nest.loops}}
+        try:
+            nests.append(tile_nest(nest, applicable) if applicable
+                         else nest)
+        except ProgramError:
+            if not only_rectangular:
+                raise
+            nests.append(nest)
+    return Program(f"{program.name}_tiled", list(program.arrays), nests)

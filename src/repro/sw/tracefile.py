@@ -1,0 +1,101 @@
+"""Trace file I/O.
+
+A simple line-oriented text format so traces can be generated once,
+inspected with standard tools, filtered, or produced by external
+tracers and replayed through the simulator:
+
+.. code-block:: text
+
+    # mdacache-trace v1
+    R r s 0x1a40 3     <- read, row pref, scalar, address, ref id
+    W c v 0x2000 7     <- write, column pref, vector
+
+Fields: operation (``R``/``W``), orientation (``r``/``c``), width
+(``s``/``v``), hex byte address, decimal reference id.  Lines starting
+with ``#`` are comments.  The format is deliberately trivial — the
+point is interoperability, not density.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, Union
+
+from ..common.errors import ProgramError
+from ..common.types import AccessWidth, Orientation, Request
+
+HEADER = "# mdacache-trace v1"
+
+_OP = {False: "R", True: "W"}
+_ORIENT = {Orientation.ROW: "r", Orientation.COLUMN: "c"}
+_WIDTH = {AccessWidth.SCALAR: "s", AccessWidth.VECTOR: "v"}
+
+_OP_BACK = {"R": False, "W": True}
+_ORIENT_BACK = {"r": Orientation.ROW, "c": Orientation.COLUMN}
+_WIDTH_BACK = {"s": AccessWidth.SCALAR, "v": AccessWidth.VECTOR}
+
+
+def format_request(req: Request) -> str:
+    """One trace line for a request."""
+    return (f"{_OP[req.is_write]} {_ORIENT[req.orientation]} "
+            f"{_WIDTH[req.width]} {req.addr:#x} {req.ref_id}")
+
+
+def parse_request(line: str) -> Request:
+    """Parse one trace line.
+
+    Raises:
+        ProgramError: on any malformed field.
+    """
+    parts = line.split()
+    if len(parts) != 5:
+        raise ProgramError(f"bad trace line (need 5 fields): {line!r}")
+    op, orient, width, addr_text, ref_text = parts
+    try:
+        is_write = _OP_BACK[op]
+        orientation = _ORIENT_BACK[orient]
+        access_width = _WIDTH_BACK[width]
+    except KeyError as exc:
+        raise ProgramError(f"bad trace field {exc} in {line!r}") from None
+    try:
+        addr = int(addr_text, 16)
+        ref_id = int(ref_text)
+    except ValueError:
+        raise ProgramError(f"bad number in trace line {line!r}") \
+            from None
+    if addr < 0 or addr % 8 != 0:
+        raise ProgramError(f"address must be word-aligned: {line!r}")
+    if ref_id < 0:
+        raise ProgramError(f"negative ref id: {line!r}")
+    return Request(addr, orientation, access_width, is_write, ref_id)
+
+
+def write_trace(trace: Iterable[Request],
+                destination: Union[str, IO[str]]) -> int:
+    """Write a trace; returns the number of requests written."""
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            return write_trace(trace, handle)
+    destination.write(HEADER + "\n")
+    count = 0
+    for req in trace:
+        destination.write(format_request(req) + "\n")
+        count += 1
+    return count
+
+
+def read_trace(source: Union[str, IO[str]]) -> Iterator[Request]:
+    """Lazily read a trace file or handle."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            yield from read_trace(handle)
+        return
+    first = source.readline().strip()
+    if first != HEADER:
+        raise ProgramError(
+            f"not an mdacache trace (header {first!r}, "
+            f"expected {HEADER!r})")
+    for line in source:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_request(line)

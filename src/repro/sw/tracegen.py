@@ -1,0 +1,202 @@
+"""Trace generation: walk a compiled kernel, emit annotated requests.
+
+This is where the compiler model meets the architecture model: every
+static reference's orientation annotation and vectorization class (paper
+Section V) become the per-request ``orientation`` / ``width`` bits the
+ISA extension would carry (paper Section IV-B, "Application to ISA").
+
+Vectorized nests are strip-mined by 8; a VECTOR ref emits one request
+per oriented line its lane group touches (one when aligned, two when the
+group straddles a line boundary, as in the +/-1-offset Sobel taps); a
+SCALAR_HOISTED ref emits one scalar request per group; SCALAR_SERIAL
+emits one per lane.  Loop tails and non-vectorized nests emit scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ..common.types import AccessWidth, Orientation, Request, line_id_of
+from .layout import Layout, make_layout
+from .program import Program
+from .vectorizer import (
+    CompiledNest,
+    CompiledProgram,
+    CompiledRef,
+    VECTOR_LANES,
+    VecClass,
+    compile_program,
+)
+
+
+def generate_trace(program: Program, logical_dims: int = 2,
+                   layout: Layout = None) -> Iterator[Request]:
+    """Requests for a whole program, compiled for ``logical_dims``.
+
+    The layout defaults to the one matching the logical dimensionality
+    (the paper always pairs them); passing a mismatched layout
+    reproduces the ~2x slowdown experiment of Section IV-C Design 0.
+    """
+    compiled = compile_program(program, logical_dims)
+    if layout is None:
+        layout = make_layout(program.arrays, logical_dims)
+    return trace_compiled(compiled, layout)
+
+
+def trace_compiled(compiled: CompiledProgram,
+                   layout: Layout) -> Iterator[Request]:
+    """Requests for an already-compiled program."""
+    for cnest in compiled.nests:
+        yield from _walk_nest(cnest, layout)
+
+
+def _walk_nest(cnest: CompiledNest, layout: Layout) -> Iterator[Request]:
+    yield from _walk_level(cnest, layout, level=0, env={})
+
+
+def _walk_level(cnest: CompiledNest, layout: Layout, level: int,
+                env: Dict[str, int]) -> Iterator[Request]:
+    loops = cnest.nest.loops
+    loop = loops[level]
+    low = loop.lower.evaluate(env)
+    high = loop.upper.evaluate(env)
+    innermost = level == len(loops) - 1
+    depth = level + 1
+    if innermost:
+        yield from _walk_innermost(cnest, layout, env, loop.var, low, high)
+        return
+    before = cnest.refs_at(depth, "before")
+    after = cnest.refs_at(depth, "after")
+    for value in range(low, high):
+        env[loop.var] = value
+        for cref in before:
+            yield from _emit_scalar(cref, layout, env)
+        yield from _walk_level(cnest, layout, level + 1, env)
+        for cref in after:
+            yield from _emit_scalar(cref, layout, env)
+    env.pop(loop.var, None)
+
+
+def _walk_innermost(cnest: CompiledNest, layout: Layout,
+                    env: Dict[str, int], var: str, low: int,
+                    high: int) -> Iterator[Request]:
+    refs = cnest.innermost_refs()
+    if not cnest.vectorized:
+        for value in range(low, high):
+            env[var] = value
+            for cref in refs:
+                yield from _emit_scalar(cref, layout, env)
+        env.pop(var, None)
+        return
+    value = low
+    while value + VECTOR_LANES <= high:
+        env[var] = value
+        for cref in refs:
+            if cref.vec_class is VecClass.VECTOR:
+                yield from _emit_vector(cref, layout, env, var)
+            elif cref.vec_class is VecClass.SCALAR_HOISTED:
+                yield from _emit_scalar(cref, layout, env)
+            else:
+                yield from _emit_serial(cref, layout, env, var)
+        value += VECTOR_LANES
+    # Loop tail: plain scalar iterations.
+    for tail in range(value, high):
+        env[var] = tail
+        for cref in refs:
+            yield from _emit_scalar(cref, layout, env)
+    env.pop(var, None)
+
+
+def _emit_scalar(cref: CompiledRef, layout: Layout,
+                 env: Dict[str, int]) -> Iterator[Request]:
+    addr = layout.address_of(cref.ref.array.name,
+                             cref.ref.row.evaluate(env),
+                             cref.ref.col.evaluate(env))
+    yield Request(addr, cref.direction.orientation, AccessWidth.SCALAR,
+                  cref.ref.is_write, cref.ref_id)
+
+
+def _emit_serial(cref: CompiledRef, layout: Layout, env: Dict[str, int],
+                 var: str) -> Iterator[Request]:
+    base = env[var]
+    for lane in range(VECTOR_LANES):
+        env[var] = base + lane
+        yield from _emit_scalar(cref, layout, env)
+    env[var] = base
+
+
+def _emit_vector(cref: CompiledRef, layout: Layout, env: Dict[str, int],
+                 var: str) -> Iterator[Request]:
+    """One request per oriented line the 8-lane group touches."""
+    name = cref.ref.array.name
+    orientation = cref.direction.orientation
+    first = layout.address_of(name, cref.ref.row.evaluate(env),
+                              cref.ref.col.evaluate(env))
+    base = env[var]
+    env[var] = base + VECTOR_LANES - 1
+    last = layout.address_of(name, cref.ref.row.evaluate(env),
+                             cref.ref.col.evaluate(env))
+    env[var] = base
+    yield Request(first, orientation, AccessWidth.VECTOR,
+                  cref.ref.is_write, cref.ref_id)
+    if line_id_of(last, orientation) != line_id_of(first, orientation):
+        # Misaligned group: the tail lanes live in the next line.
+        yield Request(last, orientation, AccessWidth.VECTOR,
+                      cref.ref.is_write, cref.ref_id)
+
+
+@dataclass
+class TraceMix:
+    """Access-type distribution by data volume (paper Fig. 10)."""
+
+    row_scalar: int = 0
+    row_vector: int = 0
+    col_scalar: int = 0
+    col_vector: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.row_scalar + self.row_vector
+                + self.col_scalar + self.col_vector)
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total or 1
+        return {
+            "row_scalar": self.row_scalar / total,
+            "row_vector": self.row_vector / total,
+            "col_scalar": self.col_scalar / total,
+            "col_vector": self.col_vector / total,
+        }
+
+    @property
+    def column_fraction(self) -> float:
+        total = self.total or 1
+        return (self.col_scalar + self.col_vector) / total
+
+
+def trace_mix(trace: Iterator[Request]) -> TraceMix:
+    """Tally a trace into the four Fig. 10 categories, by bytes."""
+    mix = TraceMix()
+    for req in trace:
+        volume = 64 if req.width is AccessWidth.VECTOR else 8
+        if req.orientation is Orientation.ROW:
+            if req.width is AccessWidth.VECTOR:
+                mix.row_vector += volume
+            else:
+                mix.row_scalar += volume
+        elif req.width is AccessWidth.VECTOR:
+            mix.col_vector += volume
+        else:
+            mix.col_scalar += volume
+    return mix
+
+
+def trace_length(program: Program, logical_dims: int = 2) -> int:
+    """Number of requests a program generates (for sizing runs)."""
+    return sum(1 for _ in generate_trace(program, logical_dims))
+
+
+def materialize(trace: Iterator[Request]) -> List[Request]:
+    """Realize a lazy trace (tests and multi-pass experiments)."""
+    return list(trace)

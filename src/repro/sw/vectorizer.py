@@ -1,0 +1,115 @@
+"""Row *and* column vectorization (paper Section V, third bullet).
+
+"Since our architecture allows column-wise reads in one shot, we apply
+vectorization in the column direction as well as the row direction."
+The vectorizer classifies every static reference:
+
+* ``VECTOR`` — unit stride along its preferred direction: the innermost
+  loop is strip-mined by 8 and the ref becomes one line-wide access per
+  group (two when the group is line-misaligned).
+* ``SCALAR_HOISTED`` — invariant in the controlling loop: one scalar
+  access per vector group (a register-carried value).
+* ``SCALAR_SERIAL`` — non-unit stride: stays one scalar access per lane.
+
+In logically 1-D (Design 0) compilation, column-preference walks are
+pitch-strided in the linear space, so they classify SCALAR_SERIAL — the
+conventional-compiler behavior the paper contrasts against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from .directions import DirectionInfo, analyze_ref, analyze_ref_1d
+from .program import ArrayRef, LoopNest, Program
+
+VECTOR_LANES = 8
+
+
+class VecClass(enum.Enum):
+    VECTOR = "vector"
+    SCALAR_HOISTED = "scalar_hoisted"
+    SCALAR_SERIAL = "scalar_serial"
+
+
+@dataclass(frozen=True)
+class CompiledRef:
+    """A static reference with its compiler annotations."""
+
+    ref: ArrayRef
+    direction: DirectionInfo
+    vec_class: VecClass
+    ref_id: int
+
+
+@dataclass
+class CompiledNest:
+    """A loop nest after direction analysis and vectorization."""
+
+    nest: LoopNest
+    refs: List[CompiledRef]
+    vectorized: bool
+
+    def innermost_refs(self) -> List[CompiledRef]:
+        full = len(self.nest.loops)
+        return [cr for cr in self.refs if cr.ref.depth == full]
+
+    def refs_at(self, depth: int, when: str) -> List[CompiledRef]:
+        return [cr for cr in self.refs
+                if cr.ref.depth == depth and cr.ref.when == when]
+
+
+@dataclass
+class CompiledProgram:
+    """All nests of a program, compiled for a logical dimensionality."""
+
+    program: Program
+    logical_dims: int
+    nests: List[CompiledNest]
+
+    def all_refs(self) -> List[CompiledRef]:
+        return [cr for nest in self.nests for cr in nest.refs]
+
+
+def classify_ref(direction: DirectionInfo) -> VecClass:
+    """Vectorization class from the direction analysis result."""
+    if direction.invariant:
+        return VecClass.SCALAR_HOISTED
+    if direction.unit_stride:
+        return VecClass.VECTOR
+    return VecClass.SCALAR_SERIAL
+
+
+def compile_program(program: Program,
+                    logical_dims: int = 2) -> CompiledProgram:
+    """Run direction analysis + vectorization over every nest.
+
+    Args:
+        program: the kernel IR.
+        logical_dims: 2 for MDA hierarchies (row and column
+            vectorization), 1 for the Design 0 baseline (row only).
+    """
+    analyze = analyze_ref if logical_dims == 2 else analyze_ref_1d
+    compiled_nests: List[CompiledNest] = []
+    next_ref_id = 0
+    for nest in program.nests:
+        compiled_refs: List[CompiledRef] = []
+        full = len(nest.loops)
+        any_vector = False
+        for ref in nest.resolved_refs():
+            direction = analyze(nest, ref)
+            vec_class = classify_ref(direction)
+            if ref.depth != full and vec_class is VecClass.VECTOR:
+                # Refs above the innermost loop execute once per outer
+                # iteration; they stay scalar.
+                vec_class = VecClass.SCALAR_SERIAL
+            if ref.depth == full and vec_class is VecClass.VECTOR:
+                any_vector = True
+            compiled_refs.append(
+                CompiledRef(ref, direction, vec_class, next_ref_id))
+            next_ref_id += 1
+        compiled_nests.append(
+            CompiledNest(nest, compiled_refs, vectorized=any_vector))
+    return CompiledProgram(program, logical_dims, compiled_nests)

@@ -1,0 +1,43 @@
+"""The paper's benchmark suite, expressed in the program IR."""
+
+from .blas import build_sgemm, build_ssyr2k, build_ssyrk, build_strmm
+from .htap import build_htap1, build_htap2
+from .extra import (
+    build_backsub,
+    build_conv1d_col,
+    build_covariance,
+    build_jacobi2d,
+    build_transpose,
+)
+from .registry import (
+    extended_workload_names,
+    HTAP_SIZES,
+    MATRIX_SIZES,
+    WorkloadSpec,
+    build_workload,
+    get_workload,
+    workload_names,
+)
+from .sobel import build_sobel
+
+__all__ = [
+    "HTAP_SIZES",
+    "MATRIX_SIZES",
+    "WorkloadSpec",
+    "build_backsub",
+    "build_conv1d_col",
+    "build_covariance",
+    "build_htap1",
+    "build_htap2",
+    "build_jacobi2d",
+    "build_sgemm",
+    "build_transpose",
+    "build_sobel",
+    "build_ssyr2k",
+    "build_ssyrk",
+    "build_strmm",
+    "build_workload",
+    "extended_workload_names",
+    "get_workload",
+    "workload_names",
+]

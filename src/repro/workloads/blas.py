@@ -1,0 +1,136 @@
+"""BLAS kernels: sgemm, ssyrk, ssyr2k, strmm (paper Section VI-B).
+
+All four follow the paper's expository style (the "naive MxM algorithm"
+of Section V-A): perfectly nested loops, accumulators in registers, no
+blocking.  Each kernel mixes row-preference and column-preference
+references, which is exactly why the paper picked them ("a set of
+benchmarks featuring both row and column access affinities").
+"""
+
+from __future__ import annotations
+
+from ..sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+
+
+def _var(name: str) -> Affine:
+    return Affine.of(name)
+
+
+def build_sgemm(n: int) -> Program:
+    """MatOut = MatR x MatC (paper Section V-A listing).
+
+    With ``k`` innermost, ``MatR[i][k]`` is a row-wise walk and
+    ``MatC[k][j]`` a column-wise walk — the motivating example for
+    column vectorization.
+    """
+    mat_r = ArrayDecl("MatR", n, n)
+    mat_c = ArrayDecl("MatC", n, n)
+    mat_out = ArrayDecl("MatOut", n, n)
+    nest = LoopNest(
+        name="mm",
+        loops=[Loop.over("i", n), Loop.over("j", n), Loop.over("k", n)],
+        refs=[
+            ArrayRef(mat_r, _var("i"), _var("k")),
+            ArrayRef(mat_c, _var("k"), _var("j")),
+            # sum accumulates in a register; the store lands once per
+            # (i, j) after the reduction loop.
+            ArrayRef(mat_out, _var("i"), _var("j"), is_write=True,
+                     depth=2, when="after"),
+        ],
+    )
+    return Program("sgemm", [mat_r, mat_c, mat_out], [nest])
+
+
+def build_ssyrk(n: int) -> Program:
+    """C := A' x A + C followed by a row-wise rescale pass.
+
+    The transposed product makes both ``A`` walks column-wise; the
+    trailing row-major pass gives the nest-to-nest preference shift the
+    paper observes for ssyrk in Fig. 15 ("column occupancy first
+    increases and then decreases due to neighboring loop nests
+    exhibiting different preferences").
+    """
+    a = ArrayDecl("A", n, n)
+    c = ArrayDecl("C", n, n)
+    product = LoopNest(
+        name="syrk",
+        loops=[Loop.over("i", n), Loop.over("j", n), Loop.over("k", n)],
+        refs=[
+            ArrayRef(a, _var("k"), _var("i")),
+            ArrayRef(a, _var("k"), _var("j")),
+            ArrayRef(c, _var("i"), _var("j"), depth=2, when="before"),
+            ArrayRef(c, _var("i"), _var("j"), is_write=True,
+                     depth=2, when="after"),
+        ],
+    )
+    rescale = LoopNest(
+        name="rescale",
+        loops=[Loop.over("i", n), Loop.over("j", n)],
+        refs=[
+            ArrayRef(c, _var("i"), _var("j")),
+            ArrayRef(c, _var("i"), _var("j"), is_write=True),
+        ],
+    )
+    return Program("ssyrk", [a, c], [product, rescale])
+
+
+def build_ssyr2k(n: int) -> Program:
+    """C := A x B' + B' x A + C, one nest per product.
+
+    The first product walks ``A`` and ``B`` row-wise; the second walks
+    them column-wise — a rank-2k update variant chosen to exercise both
+    orientations on the same data structures (the property the paper's
+    benchmark selection calls out).
+    """
+    a = ArrayDecl("A", n, n)
+    b = ArrayDecl("B", n, n)
+    c = ArrayDecl("C", n, n)
+    row_product = LoopNest(
+        name="ab_t",
+        loops=[Loop.over("i", n), Loop.over("j", n), Loop.over("k", n)],
+        refs=[
+            ArrayRef(a, _var("i"), _var("k")),
+            ArrayRef(b, _var("j"), _var("k")),
+            ArrayRef(c, _var("i"), _var("j"), depth=2, when="before"),
+            ArrayRef(c, _var("i"), _var("j"), is_write=True,
+                     depth=2, when="after"),
+        ],
+    )
+    col_product = LoopNest(
+        name="b_t_a",
+        loops=[Loop.over("i", n), Loop.over("j", n), Loop.over("k", n)],
+        refs=[
+            ArrayRef(b, _var("k"), _var("i")),
+            ArrayRef(a, _var("k"), _var("j")),
+            ArrayRef(c, _var("i"), _var("j"), depth=2, when="before"),
+            ArrayRef(c, _var("i"), _var("j"), is_write=True,
+                     depth=2, when="after"),
+        ],
+    )
+    return Program("ssyr2k", [a, b, c], [row_product, col_product])
+
+
+def build_strmm(n: int) -> Program:
+    """B := A x B with upper-triangular A.
+
+    The reduction loop runs ``k in [i, n)``, exercising the affine loop
+    bounds and producing misaligned vector groups; ``A[i][k]`` is
+    row-wise, ``B[k][j]`` column-wise.
+    """
+    a = ArrayDecl("A", n, n)
+    b = ArrayDecl("B", n, n)
+    nest = LoopNest(
+        name="trmm",
+        loops=[
+            Loop.over("i", n),
+            Loop.over("j", n),
+            Loop.bounded("k", Affine.of("i"), n),
+        ],
+        refs=[
+            ArrayRef(a, _var("i"), _var("k")),
+            ArrayRef(b, _var("k"), _var("j")),
+            ArrayRef(b, _var("i"), _var("j"), is_write=True,
+                     depth=2, when="after"),
+        ],
+    )
+    return Program("strmm", [a, b], [nest])

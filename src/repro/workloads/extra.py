@@ -1,0 +1,130 @@
+"""Extra kernels beyond the paper's benchmark suite.
+
+The paper's introduction motivates MDA memories with "myriad algorithms
+spanning from matrix multiplication to vision processing to database
+queries"; these kernels extend the suite for downstream users (they are
+*not* used by the paper-figure experiments):
+
+* ``transpose``  — B = A', the canonical forced row/column mix;
+* ``jacobi2d``   — 5-point stencil sweep, row-oriented with reuse;
+* ``conv1d_col`` — vertical 1-D convolution, pure column streams;
+* ``covariance`` — mean-centered A'A, mixing full-column reductions
+  with row-wise centering;
+* ``backsub``    — back-substitution on an upper-triangular system,
+  a triangular column walk.
+"""
+
+from __future__ import annotations
+
+from ..sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+
+
+def build_transpose(n: int) -> Program:
+    """B = A' with j innermost: A row-wise, B column-wise."""
+    a = ArrayDecl("A", n, n)
+    b = ArrayDecl("B", n, n)
+    nest = LoopNest(
+        "transpose",
+        [Loop.over("i", n), Loop.over("j", n)],
+        [ArrayRef(a, Affine.of("i"), Affine.of("j")),
+         ArrayRef(b, Affine.of("j"), Affine.of("i"), is_write=True)],
+    )
+    return Program("transpose", [a, b], [nest])
+
+
+def build_jacobi2d(n: int, sweeps: int = 2) -> Program:
+    """Ping-pong 5-point Jacobi sweeps over the grid interior."""
+    grids = [ArrayDecl("U0", n, n), ArrayDecl("U1", n, n)]
+    nests = []
+    for sweep in range(sweeps):
+        src = grids[sweep % 2]
+        dst = grids[(sweep + 1) % 2]
+        nests.append(LoopNest(
+            f"jacobi_{sweep}",
+            [Loop.bounded("i", 1, n - 1), Loop.bounded("j", 1, n - 1)],
+            [
+                ArrayRef(src, Affine.of("i"), Affine.of("j")),
+                ArrayRef(src, Affine.of("i", const=-1), Affine.of("j")),
+                ArrayRef(src, Affine.of("i", const=1), Affine.of("j")),
+                ArrayRef(src, Affine.of("i"), Affine.of("j", const=-1)),
+                ArrayRef(src, Affine.of("i"), Affine.of("j", const=1)),
+                ArrayRef(dst, Affine.of("i"), Affine.of("j"),
+                         is_write=True),
+            ],
+        ))
+    return Program("jacobi2d", grids, nests)
+
+
+def build_conv1d_col(n: int, taps: int = 5) -> Program:
+    """Vertical 1-D convolution: every column filtered independently."""
+    image = ArrayDecl("Img", n, n)
+    out = ArrayDecl("Flt", n, n)
+    refs = [ArrayRef(image, Affine.of("i", const=t), Affine.of("j"))
+            for t in range(taps)]
+    refs.append(ArrayRef(out, Affine.of("i"), Affine.of("j"),
+                         is_write=True))
+    nest = LoopNest(
+        "conv1d_col",
+        [Loop.over("j", n), Loop.bounded("i", 0, n - taps + 1)],
+        refs,
+    )
+    return Program("conv1d_col", [image, out], [nest])
+
+
+def build_covariance(n: int) -> Program:
+    """Mean-center the columns of A, then form C = A' x A."""
+    a = ArrayDecl("A", n, n)
+    meanv = ArrayDecl("Mean", 1, n)
+    c = ArrayDecl("C", n, n)
+    # Column means: walk each column (column preference).
+    means = LoopNest(
+        "col_means",
+        [Loop.over("j", n), Loop.over("i", n)],
+        [ArrayRef(a, Affine.of("i"), Affine.of("j")),
+         ArrayRef(meanv, Affine.constant(0), Affine.of("j"),
+                  is_write=True, depth=1, when="after")],
+    )
+    # Centering: row-major update pass.
+    center = LoopNest(
+        "center",
+        [Loop.over("i", n), Loop.over("j", n)],
+        [ArrayRef(a, Affine.of("i"), Affine.of("j")),
+         ArrayRef(meanv, Affine.constant(0), Affine.of("j")),
+         ArrayRef(a, Affine.of("i"), Affine.of("j"), is_write=True)],
+    )
+    # C = A' x A (column walks, like ssyrk's product).
+    product = LoopNest(
+        "outer_product",
+        [Loop.over("i", n), Loop.over("j", n), Loop.over("k", n)],
+        [ArrayRef(a, Affine.of("k"), Affine.of("i")),
+         ArrayRef(a, Affine.of("k"), Affine.of("j")),
+         ArrayRef(c, Affine.of("i"), Affine.of("j"), is_write=True,
+                  depth=2, when="after")],
+    )
+    return Program("covariance", [a, meanv, c], [means, center, product])
+
+
+def build_backsub(n: int) -> Program:
+    """Solve Ux = b by back-substitution (U upper-triangular).
+
+    The inner update ``b[j] -= U[j][i] * x[i]`` walks a *column* of U
+    above the pivot — a triangular column access.
+    """
+    u = ArrayDecl("U", n, n)
+    b = ArrayDecl("B", n, 1)
+    x = ArrayDecl("X", n, 1)
+    # For each pivot i (outer), update all rows j < i... expressed with
+    # normalized loops: i over [0, n), j over [0, n - i - ...] is not
+    # affine-friendly, so walk j over [0, i) via the triangular bound.
+    solve = LoopNest(
+        "backsub",
+        [Loop.over("i", n), Loop.bounded("j", 0, Affine.of("i"))],
+        [
+            ArrayRef(u, Affine.of("j"), Affine.of("i")),  # column of U
+            ArrayRef(x, Affine.of("i"), Affine.constant(0), depth=1),
+            ArrayRef(b, Affine.of("j"), Affine.constant(0)),
+            ArrayRef(b, Affine.of("j"), Affine.constant(0),
+                     is_write=True),
+        ],
+    )
+    return Program("backsub", [u, b, x], [solve])

@@ -1,0 +1,75 @@
+"""HTAP workloads (paper Section VI-B, from the GS-DRAM suite [40]).
+
+A single row-major table serves both transaction-style row accesses and
+analytics-style column scans — the hybrid pattern that motivates
+decoupling layout from access direction (paper Section V-A's column-IO
+database discussion).
+
+* ``htap1`` — analytics-dominant: several full column scans (aggregates
+  with a predicate column), plus a sparse set of row materializations
+  for the matching tuples.
+* ``htap2`` — transactions-dominant: read-modify-write over half the
+  rows, plus a smaller analytical column pass.
+"""
+
+from __future__ import annotations
+
+from ..sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+
+
+def build_htap1(rows: int, cols: int) -> Program:
+    """Analytical HTAP: column scans plus selective row fetches."""
+    table = ArrayDecl("T", rows, cols)
+    scan_cols = min(4, cols // 4)
+    # Each query scans its value column q*3+1 against a shared
+    # predicate column 0 (the WHERE clause) — the predicate column is
+    # the only data reused across queries.
+    column_scan = LoopNest(
+        name="column_scan",
+        loops=[Loop.over("q", scan_cols), Loop.over("r", rows)],
+        refs=[
+            ArrayRef(table, Affine.of("r"), Affine.constant(0)),
+            ArrayRef(table, Affine.of("r"), Affine.of("q", coeff=3,
+                                                      const=1)),
+        ],
+    )
+    # Materialize every fourth row for the result set.
+    row_fetch = LoopNest(
+        name="row_fetch",
+        loops=[Loop.over("s", rows // 4), Loop.over("w", cols)],
+        refs=[
+            ArrayRef(table, Affine.of("s", coeff=4, const=1),
+                     Affine.of("w")),
+        ],
+    )
+    return Program("htap1", [table], [column_scan, row_fetch])
+
+
+def build_htap2(rows: int, cols: int) -> Program:
+    """Transactions-dominant HTAP with a recurring analytic pass.
+
+    Row read-modify-write over a quarter of the rows, interleaved with
+    an 8-column analytic scan — roughly an 80/20 row/column volume
+    split, matching the htap2 mix of the paper's Fig. 10.
+    """
+    table = ArrayDecl("T", rows, cols)
+    txn = LoopNest(
+        name="txn_rmw",
+        loops=[Loop.over("t", rows // 4), Loop.over("w", cols)],
+        refs=[
+            ArrayRef(table, Affine.of("t", coeff=4, const=2),
+                     Affine.of("w")),
+            ArrayRef(table, Affine.of("t", coeff=4, const=2),
+                     Affine.of("w"), is_write=True),
+        ],
+    )
+    scan_cols = min(8, cols // 8) or 1
+    analytic = LoopNest(
+        name="analytic_scan",
+        loops=[Loop.over("a", scan_cols), Loop.over("r", rows)],
+        refs=[
+            ArrayRef(table, Affine.of("r"),
+                     Affine.of("a", coeff=7, const=3)),
+        ],
+    )
+    return Program("htap2", [table], [txn, analytic])

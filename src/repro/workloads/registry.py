@@ -1,0 +1,141 @@
+"""Workload registry: the paper's seven benchmarks, scaled.
+
+Scale factor S = 8 versus the paper (DESIGN.md): "small" maps the
+paper's 256x256 inputs to 32x32, "large" maps 512x512 to 64x64; the
+HTAP table (paper 2048x256 / 2048x512) maps to 256x32 / 256x64.  Cache
+capacities in :mod:`repro.core.system` are scaled by S^2 = 64, so every
+working-set : capacity ratio — the quantity the paper's figures sweep —
+is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..common.errors import ConfigError
+from ..sw.program import Program
+from .blas import build_sgemm, build_ssyr2k, build_ssyrk, build_strmm
+from .htap import build_htap1, build_htap2
+from .sobel import build_sobel
+
+#: Paper input label -> scaled square-matrix dimension.
+MATRIX_SIZES: Dict[str, int] = {"small": 32, "large": 64}
+
+#: Paper HTAP table shape, scaled: (rows, cols) per input label.
+HTAP_SIZES: Dict[str, tuple] = {"small": (256, 32), "large": (256, 64)}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named benchmark and how to build it at a given input size."""
+
+    name: str
+    builder: Callable[[str], Program]
+    description: str
+
+    def build(self, size: str = "large") -> Program:
+        return self.builder(size)
+
+
+def _matrix_kernel(build: Callable[[int], Program]) \
+        -> Callable[[str], Program]:
+    def builder(size: str) -> Program:
+        return build(_matrix_n(size))
+    return builder
+
+
+def _matrix_n(size: str) -> int:
+    try:
+        return MATRIX_SIZES[size]
+    except KeyError:
+        raise ConfigError(
+            f"unknown input size {size!r}; use 'small' or 'large'") \
+            from None
+
+
+def _htap_kernel(build: Callable[[int, int], Program]) \
+        -> Callable[[str], Program]:
+    def builder(size: str) -> Program:
+        try:
+            rows, cols = HTAP_SIZES[size]
+        except KeyError:
+            raise ConfigError(
+                f"unknown input size {size!r}; use 'small' or 'large'") \
+                from None
+        return build(rows, cols)
+    return builder
+
+
+#: Kernels beyond the paper's suite (module ``repro.workloads.extra``);
+#: available through the registry but excluded from paper experiments.
+_EXTRA_SPECS: List["WorkloadSpec"] = []
+
+_SPECS: List[WorkloadSpec] = [
+    WorkloadSpec("sgemm", _matrix_kernel(build_sgemm),
+                 "dense matrix multiply (LAPACK BLAS)"),
+    WorkloadSpec("ssyr2k", _matrix_kernel(build_ssyr2k),
+                 "symmetric rank-2k update (LAPACK BLAS)"),
+    WorkloadSpec("ssyrk", _matrix_kernel(build_ssyrk),
+                 "symmetric rank-k update (LAPACK BLAS)"),
+    WorkloadSpec("strmm", _matrix_kernel(build_strmm),
+                 "triangular matrix multiply (LAPACK BLAS)"),
+    WorkloadSpec("sobel", _matrix_kernel(build_sobel),
+                 "Sobel filter, vertical traversal"),
+    WorkloadSpec("htap1", _htap_kernel(build_htap1),
+                 "analytics-dominant hybrid row/column table workload"),
+    WorkloadSpec("htap2", _htap_kernel(build_htap2),
+                 "transactions-dominant hybrid row/column table workload"),
+]
+
+def _build_extra_specs() -> List[WorkloadSpec]:
+    from .extra import (
+        build_backsub,
+        build_conv1d_col,
+        build_covariance,
+        build_jacobi2d,
+        build_transpose,
+    )
+    return [
+        WorkloadSpec("transpose", _matrix_kernel(build_transpose),
+                     "matrix transpose (forced row/column mix)"),
+        WorkloadSpec("jacobi2d", _matrix_kernel(build_jacobi2d),
+                     "5-point Jacobi stencil, two sweeps"),
+        WorkloadSpec("conv1d_col", _matrix_kernel(build_conv1d_col),
+                     "vertical 1-D convolution"),
+        WorkloadSpec("covariance", _matrix_kernel(build_covariance),
+                     "column means + centering + A'A"),
+        WorkloadSpec("backsub", _matrix_kernel(build_backsub),
+                     "triangular back-substitution"),
+    ]
+
+
+_EXTRA_SPECS.extend(_build_extra_specs())
+
+_BY_NAME: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (*_SPECS, *_EXTRA_SPECS)
+}
+
+
+def workload_names() -> List[str]:
+    """The paper's benchmark list, in its reporting order."""
+    return [spec.name for spec in _SPECS]
+
+
+def extended_workload_names() -> List[str]:
+    """Every registered kernel, including the non-paper extras."""
+    return [spec.name for spec in (*_SPECS, *_EXTRA_SPECS)]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: "
+            f"{extended_workload_names()}") from None
+
+
+def build_workload(name: str, size: str = "large") -> Program:
+    """Build benchmark ``name`` at input ``size`` ('small'/'large')."""
+    return get_workload(name).build(size)

@@ -1,0 +1,36 @@
+"""Sobel edge filter, vertical traversal (paper Section VI-B).
+
+"The sobel benchmark evaluated is a basic Sobel filter for vertical
+traversal": the image is walked down each column (innermost loop over
+the row index), so all eight stencil taps and the output store are
+column-preference accesses.  The +/-1 row offsets make most vector
+groups straddle two column lines — the misaligned-vector path of the
+trace generator.
+"""
+
+from __future__ import annotations
+
+from ..sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+
+
+def build_sobel(n: int) -> Program:
+    """Vertical-traversal Sobel over an ``n x n`` image interior."""
+    image = ArrayDecl("In", n, n)
+    out = ArrayDecl("Out", n, n)
+    taps = []
+    # Gx and Gy stencil taps; the (0, 0) center has zero weight in both
+    # kernels and is not read.
+    for di, dj in ((-1, -1), (-1, 0), (-1, 1),
+                   (0, -1), (0, 1),
+                   (1, -1), (1, 0), (1, 1)):
+        taps.append(ArrayRef(image,
+                             Affine.of("i", const=di),
+                             Affine.of("j", const=dj)))
+    nest = LoopNest(
+        name="sobel_v",
+        loops=[Loop.bounded("j", 1, n - 1), Loop.bounded("i", 1, n - 1)],
+        refs=taps + [
+            ArrayRef(out, Affine.of("i"), Affine.of("j"), is_write=True),
+        ],
+    )
+    return Program("sobel", [image, out], [nest])

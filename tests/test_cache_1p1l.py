@@ -1,0 +1,186 @@
+"""Unit tests for the conventional 1P1L cache (Design 0 levels)."""
+
+import pytest
+
+from repro.common.config import PrefetcherConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatRegistry
+from repro.common.types import (
+    AccessWidth,
+    Orientation,
+    Request,
+    line_id_of,
+    make_line_id,
+)
+from repro.cache.cache_1p1l import Cache1P1L
+from tests.conftest import FakeLower, small_config
+
+
+def make_cache(lower=None, **cfg_kwargs):
+    stats = StatRegistry()
+    cache = Cache1P1L(small_config(**cfg_kwargs), 1, stats)
+    lower = lower or FakeLower()
+    cache.connect(lower)
+    return cache, lower, stats
+
+
+def read(addr, width=AccessWidth.SCALAR):
+    return Request(addr, Orientation.ROW, width, is_write=False)
+
+
+def write(addr, width=AccessWidth.SCALAR):
+    return Request(addr, Orientation.ROW, width, is_write=True)
+
+
+class TestBasicBehavior:
+    def test_cold_miss_then_hit(self):
+        cache, lower, stats = make_cache()
+        r1 = cache.access(read(0), now=0)
+        assert r1.hit_level == 0  # served by the fake "memory"
+        r2 = cache.access(read(8), now=200)  # same line, another word
+        assert r2.hit_level == 1
+        assert stats.group("cache.L1").get("hits") == 1
+        assert stats.group("cache.L1").get("misses") == 1
+        assert lower.fetched_lines() == [line_id_of(0, Orientation.ROW)]
+
+    def test_hit_latency_is_config_hit_latency(self):
+        cache, _, _ = make_cache()
+        cache.access(read(0), 0)
+        result = cache.access(read(0), 1000)
+        assert result.latency == cache.config.hit_latency
+
+    def test_rejects_column_requests(self):
+        cache, _, _ = make_cache()
+        req = Request(0, Orientation.COLUMN, AccessWidth.SCALAR, False)
+        with pytest.raises(SimulationError):
+            cache.access(req, 0)
+
+    def test_early_hit_waits_for_fill_data(self):
+        """A hit right after a miss must wait for the in-flight data."""
+        cache, lower, _ = make_cache()
+        cache.access(read(0), 0)               # fill lands ~100 cycles
+        result = cache.access(read(8), now=5)  # same line, data not here
+        assert result.latency > cache.config.hit_latency
+        assert len(lower.fetches) == 1
+
+
+class TestWritebacks:
+    def test_dirty_eviction_writes_back(self):
+        # 1 KB, 4-way, 4 sets: 5 lines mapping to one set force eviction.
+        cache, lower, stats = make_cache()
+        sets = cache.config.num_sets
+        target = write(0)
+        cache.access(target, 0)
+        # Fill the same set with 4 more lines (stride = sets lines).
+        for k in range(1, 5):
+            cache.access(read(k * sets * 64), k * 1000)
+        assert lower.written_lines() == [line_id_of(0, Orientation.ROW)]
+        assert stats.group("cache.L1").get("writebacks_out") == 1
+
+    def test_clean_eviction_is_silent(self):
+        cache, lower, _ = make_cache()
+        sets = cache.config.num_sets
+        for k in range(5):
+            cache.access(read(k * sets * 64), k * 1000)
+        assert lower.writebacks == []
+
+    def test_scalar_write_sets_single_dirty_bit(self):
+        cache, lower, _ = make_cache()
+        cache.access(write(8), 0)  # word 1 of line 0
+        cache.flush(10_000)
+        assert lower.writebacks[-1][1] == 0b10
+
+    def test_vector_write_dirties_whole_line(self):
+        cache, lower, _ = make_cache()
+        cache.access(write(0, AccessWidth.VECTOR), 0)
+        cache.flush(10_000)
+        assert lower.writebacks[-1][1] == 0xFF
+
+    def test_writeback_into_cache_merges_dirty(self):
+        cache, lower, _ = make_cache()
+        line = make_line_id(0, Orientation.ROW, 0)
+        cache.access(read(0), 0)
+        cache.writeback_line(line, 0b01, 1000)
+        cache.flush(2000)
+        assert (line, 0b01) in [(l, m) for l, m, _ in lower.writebacks]
+
+    def test_writeback_miss_allocates(self):
+        cache, lower, _ = make_cache()
+        line = make_line_id(7, Orientation.ROW, 3)
+        cache.writeback_line(line, 0xFF, 0)
+        assert cache.contains(line)
+        assert lower.fetches == []  # no fetch needed for a full line
+
+
+class TestFetchProtocol:
+    def test_fetch_line_hit_reports_own_level(self):
+        cache, _, _ = make_cache()
+        line = make_line_id(0, Orientation.ROW, 0)
+        cache.access(read(0), 0)
+        completion, level = cache.fetch_line(line, 1000,
+                                             AccessWidth.VECTOR)
+        assert level == 1
+        assert completion > 1000
+
+    def test_fetch_line_miss_recurses(self):
+        cache, lower, _ = make_cache()
+        line = make_line_id(9, Orientation.ROW, 0)
+        completion, level = cache.fetch_line(line, 0, AccessWidth.VECTOR)
+        assert level == 0
+        assert lower.fetched_lines() == [line]
+        assert cache.contains(line)
+
+    def test_mshr_coalesces_same_line(self):
+        cache, lower, stats = make_cache()
+        line = make_line_id(9, Orientation.ROW, 0)
+        cache.fetch_line(line, 0, AccessWidth.VECTOR)
+        # Invalidate so the second request misses again while the fill
+        # is still outstanding in the MSHRs.
+        cache._frames.pop(line)
+        cache._set_for(9 * 8).remove(line)
+        cache.fetch_line(line, 1, AccessWidth.VECTOR)
+        assert len(lower.fetches) == 1
+        assert stats.group("cache.L1").get("mshr_coalesced") == 1
+
+
+class TestPrefetcher:
+    def test_prefetch_fills_follow_stride(self):
+        cache, lower, stats = make_cache(
+            prefetcher=PrefetcherConfig(enabled=True, degree=2,
+                                        train_threshold=2))
+        for k in range(4):
+            cache.access(read(k * 64), k * 500)
+        assert stats.group("cache.L1").get("prefetch_fills") > 0
+        # More lines fetched than demanded.
+        assert len(lower.fetches) > 4
+
+    def test_no_prefetch_when_disabled(self):
+        cache, lower, _ = make_cache()
+        for k in range(4):
+            cache.access(read(k * 64), k * 500)
+        assert len(lower.fetches) == 4
+
+    def test_prefetched_line_counts_as_hit(self):
+        cache, _, stats = make_cache(
+            prefetcher=PrefetcherConfig(enabled=True, degree=4,
+                                        train_threshold=2))
+        for k in range(3):
+            cache.access(read(k * 64), k * 500)
+        result = cache.access(read(3 * 64), 5000)
+        assert result.hit_level == 1
+
+
+class TestFlush:
+    def test_flush_empties_cache(self):
+        cache, _, _ = make_cache()
+        for k in range(3):
+            cache.access(write(k * 64), k * 200)
+        cache.flush(10_000)
+        assert cache.resident_lines() == 0
+
+    def test_flush_writes_back_every_dirty_line(self):
+        cache, lower, _ = make_cache()
+        for k in range(3):
+            cache.access(write(k * 64), k * 200)
+        cache.flush(10_000)
+        assert len(lower.writebacks) == 3

@@ -1,0 +1,224 @@
+"""Unit tests for the 1P2L cache: orientation, probes, duplication."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatRegistry
+from repro.common.types import (
+    AccessWidth,
+    Orientation,
+    Request,
+    line_id_of,
+    make_line_id,
+    word_addr,
+)
+from repro.cache.cache_1p2l import Cache1P2L
+from tests.conftest import FakeLower, small_config
+
+
+def make_cache(mapping="different_set", size_kb=4, assoc=4, lower=None):
+    stats = StatRegistry()
+    cfg = small_config(size_kb=size_kb, assoc=assoc, logical_dims=2,
+                       mapping=mapping)
+    cache = Cache1P2L(cfg, 1, stats)
+    lower = lower or FakeLower()
+    cache.connect(lower)
+    return cache, lower, stats
+
+
+def req(addr, orientation=Orientation.ROW, width=AccessWidth.SCALAR,
+        is_write=False):
+    return Request(addr, orientation, width, is_write)
+
+
+SETTLE = 100_000  # time far past any fill completion
+
+
+class TestConstruction:
+    def test_rejects_non_1p2l_config(self):
+        with pytest.raises(SimulationError):
+            Cache1P2L(small_config(), 1, StatRegistry())
+
+
+class TestScalarReads:
+    def test_miss_fills_preferred_orientation(self):
+        cache, lower, _ = make_cache()
+        addr = word_addr(0, 2, 3)
+        cache.access(req(addr, Orientation.COLUMN), 0)
+        assert lower.fetched_lines() == [
+            line_id_of(addr, Orientation.COLUMN)]
+        assert cache.contains(line_id_of(addr, Orientation.COLUMN))
+
+    def test_misoriented_scalar_hit(self):
+        """Scalar hits are word-presence based, ignoring alignment."""
+        cache, lower, stats = make_cache()
+        addr = word_addr(0, 2, 3)
+        cache.access(req(addr, Orientation.ROW), 0)
+        result = cache.access(req(addr, Orientation.COLUMN), SETTLE)
+        assert result.hit_level == 1
+        assert stats.group("cache.L1").get("misoriented_hits") == 1
+        assert len(lower.fetches) == 1
+
+    def test_misoriented_hit_pays_extra_probe(self):
+        cache, _, _ = make_cache()
+        addr = word_addr(0, 2, 3)
+        cache.access(req(addr, Orientation.ROW), 0)
+        preferred = cache.access(req(addr, Orientation.ROW), SETTLE)
+        crossed = cache.access(req(addr, Orientation.COLUMN), SETTLE)
+        assert crossed.latency == preferred.latency \
+            + cache.config.tag_latency
+
+
+class TestVectorReads:
+    def test_vector_requires_correct_orientation(self):
+        """A vector access must find the correctly-aligned line."""
+        cache, lower, _ = make_cache()
+        addr = word_addr(0, 2, 0)
+        cache.access(req(addr, Orientation.ROW, AccessWidth.VECTOR), 0)
+        result = cache.access(
+            req(word_addr(0, 0, 3), Orientation.COLUMN,
+                AccessWidth.VECTOR), SETTLE)
+        assert result.hit_level == 0  # miss despite word overlap
+        assert len(lower.fetches) == 2
+
+    def test_vector_hit_on_exact_line(self):
+        cache, _, _ = make_cache()
+        addr = word_addr(0, 0, 3)
+        cache.access(req(addr, Orientation.COLUMN, AccessWidth.VECTOR), 0)
+        result = cache.access(req(addr, Orientation.COLUMN,
+                                  AccessWidth.VECTOR), SETTLE)
+        assert result.hit_level == 1
+
+
+class TestDuplicationPolicy:
+    def test_clean_duplicates_allowed(self):
+        cache, _, _ = make_cache()
+        addr = word_addr(0, 2, 3)
+        cache.access(req(addr, Orientation.ROW, AccessWidth.VECTOR), 0)
+        cache.access(req(addr, Orientation.COLUMN, AccessWidth.VECTOR),
+                     SETTLE)
+        assert cache.contains(line_id_of(addr, Orientation.ROW))
+        assert cache.contains(line_id_of(addr, Orientation.COLUMN))
+        cache.check_invariants()
+
+    def test_write_to_duplicate_evicts_other_copy(self):
+        cache, _, stats = make_cache()
+        addr = word_addr(0, 2, 3)
+        row = line_id_of(addr, Orientation.ROW)
+        col = line_id_of(addr, Orientation.COLUMN)
+        cache.access(req(addr, Orientation.ROW, AccessWidth.VECTOR), 0)
+        cache.access(req(addr, Orientation.COLUMN, AccessWidth.VECTOR),
+                     SETTLE)
+        cache.access(req(addr, Orientation.ROW, is_write=True),
+                     2 * SETTLE)
+        assert cache.contains(row)
+        assert not cache.contains(col)
+        assert stats.group("cache.L1").get("duplicate_evictions") == 1
+        cache.check_invariants()
+
+    def test_modified_line_cleaned_before_duplicate_fill(self):
+        """Fig. 9 "read to duplicate": Modified -> Clean + writeback."""
+        cache, lower, stats = make_cache()
+        addr = word_addr(0, 2, 3)
+        row = line_id_of(addr, Orientation.ROW)
+        cache.access(req(addr, Orientation.ROW, is_write=True), 0)
+        assert cache.dirty_mask_of(row) != 0
+        # Read the intersecting column as a vector: must fill the
+        # column line, after pushing the row's modification down.
+        cache.access(req(addr, Orientation.COLUMN, AccessWidth.VECTOR),
+                     SETTLE)
+        assert cache.dirty_mask_of(row) == 0  # cleaned, still present
+        assert cache.contains(row)
+        assert row in lower.written_lines()
+        assert stats.group("cache.L1").get("duplicate_cleans") == 1
+        cache.check_invariants()
+
+    def test_vector_write_evicts_all_intersecting(self):
+        cache, _, stats = make_cache()
+        base = word_addr(0, 2, 0)
+        # Fill three column lines crossing row 2.
+        for c in (0, 3, 5):
+            cache.access(req(word_addr(0, 0, c), Orientation.COLUMN,
+                             AccessWidth.VECTOR), c * SETTLE)
+        cache.access(req(base, Orientation.ROW, AccessWidth.VECTOR,
+                         is_write=True), 10 * SETTLE)
+        assert stats.group("cache.L1").get("duplicate_evictions") == 3
+        cache.check_invariants()
+
+    def test_scalar_write_to_sole_misoriented_copy_updates_it(self):
+        cache, lower, _ = make_cache()
+        addr = word_addr(0, 2, 3)
+        col = line_id_of(addr, Orientation.COLUMN)
+        cache.access(req(addr, Orientation.COLUMN), 0)  # fill column
+        cache.access(req(addr, Orientation.ROW, is_write=True), SETTLE)
+        # No new fill: the sole copy (column line) was modified.
+        assert len(lower.fetches) == 1
+        assert cache.dirty_mask_of(col) != 0
+        cache.check_invariants()
+
+
+class TestLatencyModel:
+    def test_write_pays_double_probe(self):
+        cache, _, _ = make_cache()
+        addr = word_addr(0, 2, 3)
+        cache.access(req(addr, Orientation.ROW), 0)
+        read_hit = cache.access(req(addr, Orientation.ROW), SETTLE)
+        write_hit = cache.access(req(addr, Orientation.ROW,
+                                     is_write=True), 2 * SETTLE)
+        assert write_hit.latency > read_hit.latency
+
+    def test_vector_miss_pays_eight_extra_probes(self):
+        cache, _, _ = make_cache()
+        tag = cache.config.tag_latency
+        scalar_miss = cache.access(req(word_addr(0, 0, 0)), 0)
+        vector_miss = cache.access(
+            req(word_addr(9, 0, 0), Orientation.ROW, AccessWidth.VECTOR),
+            SETTLE)
+        # Same fill latency below; the probe difference is (1+8)-2 tags.
+        assert vector_miss.latency - scalar_miss.latency == 7 * tag
+
+
+class TestMappings:
+    def test_same_set_maps_tile_lines_together(self):
+        cache, _, _ = make_cache(mapping="same_set")
+        assert cache._set_number(make_line_id(5, Orientation.ROW, 1)) \
+            == cache._set_number(make_line_id(5, Orientation.COLUMN, 7))
+
+    def test_different_set_spreads_tile_lines(self):
+        cache, _, _ = make_cache(mapping="different_set")
+        sets = {cache._set_number(make_line_id(5, Orientation.ROW, i))
+                % cache.config.num_sets for i in range(8)}
+        assert len(sets) > 1
+
+
+class TestWritebackProtocol:
+    def test_incoming_writeback_evicts_duplicate_holders(self):
+        cache, _, _ = make_cache()
+        addr = word_addr(0, 2, 3)
+        col = line_id_of(addr, Orientation.COLUMN)
+        row = line_id_of(addr, Orientation.ROW)
+        cache.access(req(addr, Orientation.COLUMN, AccessWidth.VECTOR), 0)
+        cache.writeback_line(row, 0b1000, SETTLE)  # word at offset 3 = c
+        assert not cache.contains(col)
+        assert cache.dirty_mask_of(row) == 0b1000
+        cache.check_invariants()
+
+    def test_incoming_writeback_merges_into_present_line(self):
+        cache, _, _ = make_cache()
+        addr = word_addr(0, 2, 0)
+        row = line_id_of(addr, Orientation.ROW)
+        cache.access(req(addr, Orientation.ROW, AccessWidth.VECTOR), 0)
+        cache.writeback_line(row, 0b11, SETTLE)
+        assert cache.dirty_mask_of(row) == 0b11
+
+
+class TestOccupancy:
+    def test_orientation_occupancy_counts(self):
+        cache, _, _ = make_cache()
+        cache.access(req(word_addr(0, 0, 0), Orientation.ROW,
+                         AccessWidth.VECTOR), 0)
+        cache.access(req(word_addr(1, 0, 0), Orientation.COLUMN,
+                         AccessWidth.VECTOR), SETTLE)
+        cache.access(req(word_addr(2, 0, 0), Orientation.COLUMN,
+                         AccessWidth.VECTOR), 2 * SETTLE)
+        assert cache.orientation_occupancy() == (1, 2)

@@ -1,0 +1,199 @@
+"""Unit tests for the 2P2L cache: 2-D blocks, sparse/dense fill."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatRegistry
+from repro.common.types import (
+    AccessWidth,
+    Orientation,
+    Request,
+    make_line_id,
+    word_addr,
+)
+from repro.cache.base import FULL_MASK
+from repro.cache.cache_2p2l import Cache2P2L
+from tests.conftest import FakeLower, small_config
+
+
+def make_cache(sparse=True, size_kb=4, assoc=2, lower=None):
+    stats = StatRegistry()
+    cfg = small_config(name="L3", size_kb=size_kb, assoc=assoc,
+                       logical_dims=2, physical_dims=2,
+                       sparse_fill=sparse)
+    cache = Cache2P2L(cfg, 3, stats)
+    lower = lower or FakeLower()
+    cache.connect(lower)
+    return cache, lower, stats
+
+
+def row(tile, idx):
+    return make_line_id(tile, Orientation.ROW, idx)
+
+
+def col(tile, idx):
+    return make_line_id(tile, Orientation.COLUMN, idx)
+
+
+SETTLE = 100_000
+
+
+class TestConstruction:
+    def test_rejects_non_2p2l_config(self):
+        with pytest.raises(SimulationError):
+            Cache2P2L(small_config(logical_dims=2), 3, StatRegistry())
+
+
+class TestSparseFill:
+    def test_sparse_fill_fetches_single_line(self):
+        cache, lower, _ = make_cache(sparse=True)
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        assert lower.fetched_lines() == [row(0, 2)]
+        state = cache.block_state(0)
+        assert state.rows_present == 0b100
+        assert state.cols_present == 0
+
+    def test_line_hit_after_fill(self):
+        cache, lower, _ = make_cache()
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        _, level = cache.fetch_line(row(0, 2), SETTLE, AccessWidth.VECTOR)
+        assert level == 3
+        assert len(lower.fetches) == 1
+
+    def test_partial_block_perpendicular_miss(self):
+        cache, lower, stats = make_cache()
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        _, level = cache.fetch_line(col(0, 1), SETTLE, AccessWidth.VECTOR)
+        assert level == 0  # one crossing word is not a line
+        assert stats.group("cache.L3").get("partial_block_hits") == 1
+
+    def test_cross_direction_hit_when_fully_present(self):
+        """With all 8 rows resident the crosspoint array can stream any
+        column without a fill."""
+        cache, lower, stats = make_cache()
+        for r in range(8):
+            cache.fetch_line(row(0, r), r * SETTLE, AccessWidth.VECTOR)
+        _, level = cache.fetch_line(col(0, 5), 10 * SETTLE,
+                                    AccessWidth.VECTOR)
+        assert level == 3
+        assert len(lower.fetches) == 8
+        assert stats.group("cache.L3").get("cross_direction_hits") == 1
+
+
+class TestDenseFill:
+    def test_dense_fill_streams_whole_block(self):
+        cache, lower, stats = make_cache(sparse=False)
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        assert len(lower.fetches) == 8
+        state = cache.block_state(0)
+        assert state.rows_present == FULL_MASK
+        assert state.cols_present == FULL_MASK
+        assert stats.group("cache.L3").get("dense_fill_lines") == 7
+
+    def test_dense_block_serves_both_orientations(self):
+        cache, lower, _ = make_cache(sparse=False)
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        _, level = cache.fetch_line(col(0, 6), SETTLE, AccessWidth.VECTOR)
+        assert level == 3
+        assert len(lower.fetches) == 8
+
+
+class TestWritebacks:
+    def test_incoming_writeback_marks_dirty(self):
+        cache, _, _ = make_cache()
+        cache.writeback_line(row(0, 1), FULL_MASK, 0)
+        state = cache.block_state(0)
+        assert state.rows_dirty == 0b10
+        assert state.rows_present == 0b10
+
+    def test_sparse_writeback_miss_allocates_without_fetch(self):
+        cache, lower, _ = make_cache(sparse=True)
+        cache.writeback_line(row(0, 1), FULL_MASK, 0)
+        assert lower.fetches == []
+
+    def test_dense_writeback_miss_fetches_rest_of_block(self):
+        """The costly case sparse fill exists to avoid (paper IV-C)."""
+        cache, lower, _ = make_cache(sparse=False)
+        cache.writeback_line(row(0, 1), FULL_MASK, 0)
+        assert len(lower.fetches) == 7  # the other seven lines
+
+    def test_eviction_writes_back_only_dirty_lines(self):
+        cache, lower, _ = make_cache(size_kb=4, assoc=2)
+        sets = cache.config.num_sets
+        cache.writeback_line(row(0, 1), FULL_MASK, 0)
+        cache.fetch_line(row(0 + sets, 0), SETTLE, AccessWidth.VECTOR)
+        # Force eviction of tile 0 by filling its set.
+        cache.fetch_line(row(0 + 2 * sets, 0), 2 * SETTLE,
+                         AccessWidth.VECTOR)
+        assert lower.written_lines() == [row(0, 1)]
+
+    def test_never_filled_lines_elide_writeback(self):
+        """Sparse blocks write back only what was filled and dirtied."""
+        cache, lower, _ = make_cache()
+        cache.writeback_line(row(0, 1), FULL_MASK, 0)
+        cache.fetch_line(row(0, 3), SETTLE, AccessWidth.VECTOR)  # clean
+        cache.flush(2 * SETTLE)
+        assert lower.written_lines() == [row(0, 1)]
+
+
+class TestCpuFacing:
+    def test_scalar_hit_via_perpendicular_coverage(self):
+        """A word is covered if either its row or column is present."""
+        cache, lower, _ = make_cache()
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        addr = word_addr(0, 2, 5)  # in row 2
+        result = cache.access(
+            Request(addr, Orientation.COLUMN, AccessWidth.SCALAR, False),
+            SETTLE)
+        assert result.hit_level == 3
+        assert len(lower.fetches) == 1
+
+    def test_scalar_write_dirties_covering_line(self):
+        cache, _, _ = make_cache()
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        addr = word_addr(0, 2, 5)
+        cache.access(Request(addr, Orientation.COLUMN,
+                             AccessWidth.SCALAR, True), SETTLE)
+        state = cache.block_state(0)
+        assert state.rows_dirty == 0b100  # the covering row line
+        cache.check_invariants()
+
+    def test_vector_miss_fills(self):
+        cache, lower, _ = make_cache()
+        addr = word_addr(3, 0, 4)
+        result = cache.access(
+            Request(addr, Orientation.COLUMN, AccessWidth.VECTOR, False),
+            0)
+        assert result.hit_level == 0
+        assert lower.fetched_lines() == [col(3, 4)]
+
+    def test_write_extra_latency_charged(self):
+        stats = StatRegistry()
+        cfg = small_config(size_kb=4, assoc=2, logical_dims=2,
+                           physical_dims=2, write_extra_latency=20)
+        cache = Cache2P2L(cfg, 3, stats)
+        cache.connect(FakeLower())
+        cache.fetch_line(row(0, 2), 0, AccessWidth.VECTOR)
+        addr = word_addr(0, 2, 0)
+        read = cache.access(Request(addr, Orientation.ROW,
+                                    AccessWidth.VECTOR, False), SETTLE)
+        write = cache.access(Request(addr, Orientation.ROW,
+                                     AccessWidth.VECTOR, True),
+                             2 * SETTLE)
+        assert write.latency - read.latency == 20
+
+
+class TestInvariants:
+    def test_check_invariants_passes_after_traffic(self):
+        cache, _, _ = make_cache()
+        for t in range(6):
+            cache.fetch_line(row(t, t % 8), t * SETTLE,
+                             AccessWidth.VECTOR)
+            cache.writeback_line(col(t, (t + 1) % 8), 0xF, t * SETTLE)
+        cache.check_invariants()
+
+    def test_occupancy_counts_presence_bits(self):
+        cache, _, _ = make_cache()
+        cache.fetch_line(row(0, 0), 0, AccessWidth.VECTOR)
+        cache.fetch_line(col(0, 1), SETTLE, AccessWidth.VECTOR)
+        assert cache.orientation_occupancy() == (1, 1)

@@ -1,0 +1,75 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.core.charts import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_scaled_to_largest(self):
+        chart = bar_chart([("a", 1.0), ("b", 0.5)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_fixed_scale(self):
+        chart = bar_chart([("a", 0.5)], width=10, max_value=1.0)
+        assert chart.count("#") == 5
+
+    def test_value_printed_with_unit(self):
+        chart = bar_chart([("a", 0.25)], unit="x")
+        assert "0.250x" in chart
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_zero_scale_renders_empty_bars(self):
+        chart = bar_chart([("a", 0.0)], width=8)
+        assert "#" not in chart
+
+    def test_overflow_clamped_with_fixed_scale(self):
+        chart = bar_chart([("a", 2.0)], width=10, max_value=1.0)
+        assert chart.count("#") == 10
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([0.0, 0.5, 1.0])) == 3
+
+    def test_monotone_ramp(self):
+        line = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        # Density characters must be non-decreasing.
+        ramp = " .:-=+*#%@"
+        levels = [ramp.index(ch) for ch in line]
+        assert levels == sorted(levels)
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([0.4] * 5)
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        # The same value renders low on a wide scale and high on a
+        # scale it tops out.
+        wide = sparkline([0.5], lo=0.0, hi=10.0)
+        topped = sparkline([0.5], lo=0.0, hi=0.5)
+        assert wide == " "
+        assert topped == "@"
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart({
+            "g1": [("a", 1.0)],
+            "g2": [("b", 0.5)],
+        }, width=10)
+        lines = [ln for ln in chart.splitlines() if "#" in ln or
+                 "." in ln]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5

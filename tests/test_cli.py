@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "1P2L", "sobel"])
+        assert args.size == "small"
+        assert args.llc == 1.0
+
+    def test_run_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "5P5L", "sobel"])
+
+    def test_sweep_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "htap1", "--llc", "2.0"])
+        assert args.llc == 2.0
+
+
+class TestCommands:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "1P2L" in out
+        assert "sgemm" in out
+
+    def test_run_prints_result(self, capsys):
+        assert main(["run", "1P2L", "htap1"]) == 0
+        out = capsys.readouterr().out
+        assert "htap1" in out
+        assert "memory bytes" in out
+
+    def test_run_with_stats_dump(self, capsys):
+        assert main(["run", "1P2L", "htap1", "--stats"]) == 0
+        assert "[cache.L1]" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "L1 D-cache" in capsys.readouterr().out
+
+    def test_sweep_prints_all_designs(self, capsys):
+        assert main(["sweep", "htap1"]) == 0
+        out = capsys.readouterr().out
+        assert "2P2L_Dense" in out

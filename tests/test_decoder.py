@@ -1,0 +1,97 @@
+"""Unit tests for the MDA address decode (paper Fig. 8)."""
+
+from repro.common.config import MemoryConfig
+from repro.common.types import Orientation, line_id_of, make_line_id, word_addr
+from repro.mem.decoder import AddressDecoder
+
+
+def make_decoder(**kwargs) -> AddressDecoder:
+    return AddressDecoder(MemoryConfig(**kwargs))
+
+
+class TestTileInterleave:
+    def test_consecutive_tiles_rotate_channels(self):
+        dec = make_decoder(channels=4)
+        channels = [dec.decode_line(make_line_id(t, Orientation.ROW, 0))
+                    .channel for t in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_and_column_of_same_tile_share_bank(self):
+        """The tile is the unit of interleave: a column line never
+        splits across banks, so column fetches stay one bank operation.
+        """
+        dec = make_decoder()
+        for tile in (0, 5, 100):
+            row = dec.decode_line(make_line_id(tile, Orientation.ROW, 3))
+            col = dec.decode_line(make_line_id(tile, Orientation.COLUMN,
+                                               6))
+            assert (row.channel, row.rank, row.bank) == \
+                (col.channel, col.rank, col.bank)
+
+    def test_lines_within_tile_share_location(self):
+        dec = make_decoder()
+        locs = {
+            (dec.decode_line(make_line_id(9, Orientation.ROW, i)).channel,
+             dec.decode_line(make_line_id(9, Orientation.ROW, i)).rank,
+             dec.decode_line(make_line_id(9, Orientation.ROW, i)).bank)
+            for i in range(8)
+        }
+        assert len(locs) == 1
+
+
+class TestBufferKeys:
+    def test_row_buffer_key_spans_tile_columns(self):
+        """Row lines with the same (tile-row, r) across different tile
+        columns of a bank share a physical row -> same buffer key."""
+        dec = make_decoder(channels=1, banks_per_rank=1,
+                           tile_cols_per_bank=8)
+        # Tiles 0 and 1 are tile-columns 0 and 1 of the same bank.
+        a = dec.decode_line(make_line_id(0, Orientation.ROW, 2))
+        b = dec.decode_line(make_line_id(1, Orientation.ROW, 2))
+        assert (a.channel, a.bank) == (b.channel, b.bank)
+        assert a.buffer_key == b.buffer_key
+
+    def test_col_buffer_key_differs_across_tile_columns(self):
+        dec = make_decoder(channels=1, banks_per_rank=1,
+                           tile_cols_per_bank=8)
+        a = dec.decode_line(make_line_id(0, Orientation.COLUMN, 2))
+        b = dec.decode_line(make_line_id(1, Orientation.COLUMN, 2))
+        assert a.buffer_key != b.buffer_key
+
+    def test_col_buffer_key_spans_tile_rows(self):
+        """Column lines with the same (tile-col, c) across tile rows
+        share a physical column."""
+        dec = make_decoder(channels=1, banks_per_rank=1,
+                           tile_cols_per_bank=8)
+        a = dec.decode_line(make_line_id(0, Orientation.COLUMN, 2))
+        b = dec.decode_line(make_line_id(8, Orientation.COLUMN, 2))
+        assert (a.channel, a.bank) == (b.channel, b.bank)
+        assert a.buffer_key == b.buffer_key
+
+    def test_different_rows_different_keys(self):
+        dec = make_decoder(channels=1, banks_per_rank=1)
+        a = dec.decode_line(make_line_id(0, Orientation.ROW, 2))
+        b = dec.decode_line(make_line_id(0, Orientation.ROW, 3))
+        assert a.buffer_key != b.buffer_key
+
+
+class TestBankKey:
+    def test_bank_key_dense_and_unique(self):
+        cfg = MemoryConfig(channels=2, ranks_per_channel=1,
+                           banks_per_rank=4)
+        dec = AddressDecoder(cfg)
+        keys = set()
+        for tile in range(cfg.channels * cfg.banks_per_rank):
+            decoded = dec.decode_line(make_line_id(tile, Orientation.ROW,
+                                                   0))
+            keys.add(dec.bank_key(decoded))
+        assert keys == set(range(8))
+
+    def test_decode_agrees_with_line_id_of(self):
+        dec = make_decoder()
+        addr = word_addr(13, 4, 6)
+        row_line = line_id_of(addr, Orientation.ROW)
+        decoded = dec.decode_line(row_line)
+        assert decoded.tile == 13
+        assert decoded.index == 4
+        assert decoded.orientation is Orientation.ROW

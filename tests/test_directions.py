@@ -1,0 +1,88 @@
+"""Unit tests for direction analysis — the paper's Section V examples."""
+
+from repro.common.types import Orientation
+from repro.sw.directions import analyze_ref, analyze_ref_1d
+from repro.sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest
+
+A = ArrayDecl("X", 64, 64)
+
+
+def nest_with(ref: ArrayRef) -> LoopNest:
+    """The paper's canonical nest: i outer, j innermost."""
+    return LoopNest("n", [Loop.over("i", 64), Loop.over("j", 64)], [ref])
+
+
+class TestPaperExamples:
+    def test_x_i_j_is_row_wise(self):
+        """X[i][j] with j innermost: row-wise (paper Section V)."""
+        ref = ArrayRef(A, Affine.of("i"), Affine.of("j"))
+        info = analyze_ref(nest_with(ref), ref)
+        assert info.orientation is Orientation.ROW
+        assert info.discerned
+        assert info.unit_stride
+
+    def test_y_j_i_is_column_wise(self):
+        """Y[j][i] with j innermost: column-wise (paper Section V)."""
+        ref = ArrayRef(A, Affine.of("j"), Affine.of("i"))
+        info = analyze_ref(nest_with(ref), ref)
+        assert info.orientation is Orientation.COLUMN
+        assert info.discerned
+        assert info.unit_stride
+
+    def test_z_i_plus_j_i_plus_2_is_column_wise(self):
+        """Z[i+j][i+2] with j innermost: column-wise (paper Section V)."""
+        ref = ArrayRef(A, Affine.of("i") + Affine.of("j"),
+                       Affine.of("i") + 2)
+        info = analyze_ref(nest_with(ref), ref)
+        assert info.orientation is Orientation.COLUMN
+        assert info.discerned
+
+    def test_undiscerned_defaults_to_row(self):
+        """j in both subscripts: marked row preference (paper IV-B)."""
+        ref = ArrayRef(A, Affine.of("j"), Affine.of("j"))
+        info = analyze_ref(nest_with(ref), ref)
+        assert info.orientation is Orientation.ROW
+        assert not info.discerned
+
+    def test_invariant_ref(self):
+        ref = ArrayRef(A, Affine.of("i"), Affine.constant(3))
+        info = analyze_ref(nest_with(ref), ref)
+        assert info.invariant
+        assert info.moving_stride == 0
+
+
+class TestStrides:
+    def test_non_unit_stride_detected(self):
+        ref = ArrayRef(A, Affine.of("i"), Affine.of("j", coeff=2))
+        info = analyze_ref(nest_with(ref), ref)
+        assert info.orientation is Orientation.ROW
+        assert not info.unit_stride
+        assert info.moving_stride == 2
+
+    def test_negative_unit_stride_is_unit(self):
+        ref = ArrayRef(A, Affine.of("i"), Affine.of("j", coeff=-1,
+                                                    const=63))
+        info = analyze_ref(nest_with(ref), ref)
+        assert info.unit_stride
+
+
+class TestDesign0Analysis:
+    def test_column_walk_forced_to_row_non_unit(self):
+        """In a logically 1-D world a column walk is a pitch-strided
+        row access: not vectorizable (paper Section V)."""
+        ref = ArrayRef(A, Affine.of("j"), Affine.of("i"))
+        info = analyze_ref_1d(nest_with(ref), ref)
+        assert info.orientation is Orientation.ROW
+        assert not info.unit_stride
+        assert not info.discerned
+
+    def test_row_walk_unchanged(self):
+        ref = ArrayRef(A, Affine.of("i"), Affine.of("j"))
+        info = analyze_ref_1d(nest_with(ref), ref)
+        assert info.orientation is Orientation.ROW
+        assert info.unit_stride
+
+    def test_invariant_unchanged(self):
+        ref = ArrayRef(A, Affine.of("i"), Affine.constant(3))
+        info = analyze_ref_1d(nest_with(ref), ref)
+        assert info.invariant

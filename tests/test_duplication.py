@@ -1,0 +1,87 @@
+"""Unit tests for the duplication-policy helpers."""
+
+from repro.common.types import (
+    Orientation,
+    line_words,
+    make_line_id,
+)
+from repro.cache.duplication import (
+    check_duplication_invariant,
+    copies_of_word,
+    dirty_at_intersection,
+    dirty_intersecting_lines,
+    duplicate_pairs,
+    present_intersecting_lines,
+)
+
+
+def row(tile, idx):
+    return make_line_id(tile, Orientation.ROW, idx)
+
+
+def col(tile, idx):
+    return make_line_id(tile, Orientation.COLUMN, idx)
+
+
+class TestCopies:
+    def test_both_copies_found(self):
+        frames = {row(0, 2): 0, col(0, 5): 0}
+        word = line_words(row(0, 2))[5]
+        assert set(copies_of_word(frames, row(0, 2), word)) == \
+            {row(0, 2), col(0, 5)}
+
+    def test_single_copy(self):
+        frames = {row(0, 2): 0}
+        word = line_words(row(0, 2))[5]
+        assert copies_of_word(frames, row(0, 2), word) == [row(0, 2)]
+
+    def test_no_copy(self):
+        word = line_words(row(0, 2))[5]
+        assert copies_of_word({}, row(0, 2), word) == []
+
+
+class TestDirtyIntersections:
+    def test_dirty_at_crossing_detected(self):
+        # Column 5 is dirty at its row-2 crossing (bit 2 of its mask).
+        frames = {col(0, 5): 0b100}
+        assert dirty_at_intersection(frames, row(0, 2), col(0, 5))
+
+    def test_clean_at_crossing(self):
+        # Column 5 dirty somewhere else (row 3).
+        frames = {col(0, 5): 0b1000}
+        assert not dirty_at_intersection(frames, row(0, 2), col(0, 5))
+
+    def test_absent_line_is_not_dirty(self):
+        assert not dirty_at_intersection({}, row(0, 2), col(0, 5))
+
+    def test_dirty_intersecting_lines_enumerates(self):
+        frames = {col(0, 1): 0b100, col(0, 4): 0b1000, col(0, 6): 0b100}
+        dirty = set(dirty_intersecting_lines(frames, row(0, 2)))
+        assert dirty == {col(0, 1), col(0, 6)}
+
+    def test_present_intersecting_lines(self):
+        frames = {col(0, 1): 0, col(0, 7): 0, row(0, 3): 0,
+                  col(1, 1): 0}
+        present = present_intersecting_lines(frames, row(0, 2))
+        assert set(present) == {col(0, 1), col(0, 7)}
+
+
+class TestInvariantChecker:
+    def test_clean_duplication_ok(self):
+        frames = {row(0, 2): 0, col(0, 5): 0}
+        assert check_duplication_invariant(frames) == []
+
+    def test_dirty_word_with_present_intersection_flagged(self):
+        frames = {row(0, 2): 0b100000, col(0, 5): 0}
+        violations = check_duplication_invariant(frames)
+        assert len(violations) == 1
+
+    def test_dirty_word_without_intersection_ok(self):
+        frames = {row(0, 2): 0b100000}
+        assert check_duplication_invariant(frames) == []
+
+    def test_duplicate_pairs_counts_each_crossing_once(self):
+        frames = {row(0, 2): 0, col(0, 5): 0, col(0, 6): 0}
+        pairs = duplicate_pairs(frames)
+        assert len(pairs) == 2
+        assert all(pair[0] == row(0, 2) for pair in pairs)

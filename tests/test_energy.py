@@ -1,0 +1,109 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.stats import StatRegistry
+from repro.core.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParams,
+    energy_of_run,
+)
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+
+
+class TestEnergyParams:
+    def test_defaults_positive(self):
+        params = EnergyParams()
+        assert params.mem_activate_pj > params.mem_buffer_access_pj
+        assert params.stt_data_write_pj > params.stt_data_read_pj
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(mem_activate_pj=-1.0)
+
+
+class TestEnergyBreakdown:
+    def test_total_sums_components(self):
+        bd = EnergyBreakdown({"a": 1000.0, "b": 500.0})
+        assert bd.total_pj == 1500.0
+        assert bd.total_nj == pytest.approx(1.5)
+        assert bd.fraction("a") == pytest.approx(2 / 3)
+
+    def test_empty_breakdown(self):
+        bd = EnergyBreakdown()
+        assert bd.total_pj == 0.0
+        assert bd.fraction("x") == 0.0
+
+    def test_report_sorted_by_energy(self):
+        bd = EnergyBreakdown({"small": 10.0, "big": 1000.0})
+        lines = bd.report().splitlines()
+        assert lines[0].startswith("big")
+        assert lines[-1].startswith("total")
+
+
+class TestEnergyModel:
+    def test_prices_synthetic_counters(self):
+        stats = StatRegistry()
+        banks = stats.group("memory.banks")
+        banks.add("buffer_misses", 10)
+        banks.add("reads", 100)
+        banks.add("writes", 5)
+        mem = stats.group("memory")
+        mem.add("line_reads", 100)
+        mem.add("writes_drained", 5)
+        params = EnergyParams()
+        bd = EnergyModel(params).evaluate(stats)
+        expected_array = (10 * params.mem_activate_pj
+                          + 100 * params.mem_buffer_access_pj
+                          + 5 * params.mem_array_write_pj)
+        assert bd.components["memory.array"] == \
+            pytest.approx(expected_array)
+        assert bd.components["memory.bus"] == \
+            pytest.approx(105 * params.mem_burst_pj)
+
+    def test_stt_caches_priced_differently(self):
+        stats = StatRegistry()
+        for name, is_stt in (("cache.A", 0), ("cache.B", 1)):
+            grp = stats.group(name)
+            grp.set("is_stt_array", is_stt)
+            grp.add("tag_probes", 100)
+            grp.add("hits", 100)
+        bd = EnergyModel().evaluate(stats)
+        assert bd.components["cache.B"] > bd.components["cache.A"]
+
+    def test_end_to_end_on_real_run(self):
+        result = run_simulation(make_system("1P2L"), workload="htap1",
+                                size="small")
+        bd = energy_of_run(result)
+        assert bd.total_pj > 0
+        assert "memory.array" in bd.components
+        assert bd.components["cache.L1"] > 0
+
+    def test_mda_saves_activation_energy_on_column_scan(self):
+        base = run_simulation(make_system("1P1L"), workload="htap1",
+                              size="small")
+        mda = run_simulation(make_system("1P2L"), workload="htap1",
+                             size="small")
+        base_energy = energy_of_run(base).total_pj
+        mda_energy = energy_of_run(mda).total_pj
+        assert mda_energy < base_energy
+
+    def test_custom_params_change_totals(self):
+        result = run_simulation(make_system("1P2L"), workload="htap1",
+                                size="small")
+        cheap = energy_of_run(result, EnergyParams(mem_activate_pj=1.0))
+        costly = energy_of_run(result,
+                               EnergyParams(mem_activate_pj=5000.0))
+        assert costly.total_pj > cheap.total_pj
+
+
+class TestEnergyExperiment:
+    def test_run_energy_structure(self):
+        from repro.experiments import ExperimentRunner, run_energy
+        result = run_energy(ExperimentRunner(), workloads=["htap1"],
+                            size="small")
+        assert result.normalized_energy("1P2L", "htap1") < 1.0
+        assert "1P1L activates" in result.report()

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs and prints its conclusion."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = {
+    "quickstart": "reduces execution time",
+    "compiler_explorer": "vectorize along the column",
+    "htap_analytics": "Best design",
+    "transpose_study": "Loop-order sensitivity",
+    "energy_report": "memory-system energy",
+    "custom_hierarchy": "dataclass knob",
+    "multiprogram_colocation": "sub-row buffers",
+}
+
+
+@pytest.mark.parametrize("name,needle", sorted(EXAMPLES.items()))
+def test_example_runs(name, needle, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [f"examples/{name}.py"])
+    runpy.run_path(f"examples/{name}.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert needle in out, f"{name} did not print its conclusion"
+
+
+def test_design_space_sweep_with_args(capsys, monkeypatch):
+    """The sweep example honors CLI arguments (use a tiny workload)."""
+    monkeypatch.setattr(sys, "argv",
+                        ["examples/design_space_sweep.py", "htap1",
+                         "small"])
+    runpy.run_path("examples/design_space_sweep.py",
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "htap1" in out
+    assert "2P2L_Dense" in out
+
+
+def test_readme_quickstart_snippet():
+    """The code block in README.md works as written."""
+    from repro import make_system, run_simulation
+    baseline = run_simulation(make_system("1P1L"), workload="sgemm",
+                              size="small")
+    mdacache = run_simulation(make_system("1P2L"), workload="sgemm",
+                              size="small")
+    assert mdacache.cycles / baseline.cycles < 1.0
+    assert mdacache.memory_bytes() > 0

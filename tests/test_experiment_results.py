@@ -1,0 +1,133 @@
+"""Unit tests for experiment result dataclasses (pure math, no sims)."""
+
+import pytest
+
+from repro.experiments.dynamic_orientation import DynamicOrientationResult
+from repro.experiments.fig11 import Fig11Result
+from repro.experiments.fig12 import Fig12Result
+from repro.experiments.fig13 import Fig13Result
+from repro.experiments.fig15 import OccupancySeries
+from repro.experiments.fig16 import Fig16Result
+from repro.experiments.fig17 import Fig17Result
+from repro.experiments.future_tiling import FutureTilingResult
+
+
+class TestFig11Math:
+    def test_normalization(self):
+        result = Fig11Result(baseline={"a": 0.5},
+                             rates={"1P2L": {"a": 0.6},
+                                    "1P2L_SameSet": {"a": 0.5},
+                                    "2P2L": {"a": 0.4}})
+        assert result.normalized_rate("1P2L", "a") == pytest.approx(1.2)
+        assert result.average_normalized("2P2L") == pytest.approx(0.8)
+
+    def test_zero_baseline_guarded(self):
+        result = Fig11Result(baseline={"a": 0.0},
+                             rates={"1P2L": {"a": 0.6}})
+        assert result.normalized_rate("1P2L", "a") == 0.0
+
+
+class TestFig12Math:
+    def _result(self):
+        result = Fig12Result()
+        result.workloads = ["a", "b"]
+        result.llc_points = (1.0,)
+        result.baseline = {(1.0, "a"): 100, (1.0, "b"): 200}
+        result.cycles = {
+            (1.0, "1P2L", "a"): 30, (1.0, "1P2L", "b"): 100,
+            (1.0, "1P2L_SameSet", "a"): 40,
+            (1.0, "1P2L_SameSet", "b"): 100,
+            (1.0, "2P2L", "a"): 50, (1.0, "2P2L", "b"): 100,
+        }
+        return result
+
+    def test_per_workload_and_average(self):
+        result = self._result()
+        assert result.normalized_cycles(1.0, "1P2L", "a") == \
+            pytest.approx(0.3)
+        assert result.average_normalized(1.0, "1P2L") == \
+            pytest.approx((0.3 + 0.5) / 2)
+
+    def test_reduction_percent(self):
+        result = self._result()
+        assert result.average_reduction_percent(1.0, "1P2L") == \
+            pytest.approx(60.0)
+
+    def test_report_contains_every_llc_block(self):
+        text = self._result().report()
+        assert "LLC = 1.0 MB" in text
+        assert "average" in text
+
+
+class TestFig13Math:
+    def test_average(self):
+        result = Fig13Result(baseline={"a": 100},
+                             cycles={"1P2L": {"a": 90},
+                                     "2P2L": {"a": 80}})
+        assert result.average_normalized("2P2L") == pytest.approx(0.8)
+
+
+class TestFig15Series:
+    def test_peak_and_final(self):
+        series = OccupancySeries(points=[(0, 0.2), (10, 0.9),
+                                         (20, 0.1)])
+        assert series.peak() == 0.9
+        assert series.final() == 0.1
+
+    def test_empty_series(self):
+        series = OccupancySeries()
+        assert series.peak() == 0.0
+        assert series.final() == 0.0
+
+
+class TestFig16Math:
+    def test_asymmetry_gap(self):
+        result = Fig16Result(
+            baseline={"a": 100},
+            cycles={"1P2L": {"a": 40}, "1P2L_SameSet": {"a": 41},
+                    "2P2L": {"a": 50}, "2P2L_SlowWrite": {"a": 52}})
+        assert result.asymmetry_gap() == pytest.approx(0.02)
+
+
+class TestFig17Math:
+    def test_normalized_to_fast_baseline(self):
+        result = Fig17Result(
+            cycles={"1P1L-fast": {"a": 100}, "1P2L": {"a": 60},
+                    "1P2L-fast": {"a": 40},
+                    "1P2L_SameSet": {"a": 61},
+                    "1P2L_SameSet-fast": {"a": 41},
+                    "2P2L": {"a": 62}, "2P2L-fast": {"a": 42}},
+            workloads=["a"])
+        assert result.normalized_cycles("1P2L", "a") == \
+            pytest.approx(0.6)
+        assert "1P2L-fast" in result.report()
+
+
+class TestFutureTilingMath:
+    def test_collaborative_verdict(self):
+        result = FutureTilingResult(
+            baseline={"a": 100},
+            cycles={"1P2L": {"a": 50}, "1P2L+tiling": {"a": 30},
+                    "2P2L": {"a": 48}, "2P2L+tiling": {"a": 25}})
+        assert result.collaborative_wins()
+        assert "wins" in result.report()
+
+    def test_collaborative_loss_detected(self):
+        result = FutureTilingResult(
+            baseline={"a": 100},
+            cycles={"1P2L": {"a": 50}, "1P2L+tiling": {"a": 20},
+                    "2P2L": {"a": 48}, "2P2L+tiling": {"a": 25}})
+        assert not result.collaborative_wins()
+
+
+class TestDynamicOrientationMath:
+    def test_payoff_and_fill_reduction(self):
+        result = DynamicOrientationResult(
+            cycles={"1P1L": {"a": 100}, "1P2L": {"a": 110},
+                    "1P2L_Dyn": {"a": 121}},
+            mem_reads={"1P2L": {"a": 10}, "1P2L_Dyn": {"a": 10}},
+            l1_fills={"1P2L": {"a": 100}, "1P2L_Dyn": {"a": 40}},
+            workloads=["a"])
+        assert result.prediction_payoff() == pytest.approx(1.1)
+        assert result.fill_reduction() == pytest.approx(0.4)
+        assert "L1 fills" in result.report()

@@ -1,0 +1,69 @@
+"""Golden-shape regression tests.
+
+Loose bands around the headline small-input results, so refactors that
+silently change the model's behavior fail fast.  The bands are wide
+enough to survive benign tweaks (latency constants, replacement
+details) but not a broken mechanism.
+"""
+
+import pytest
+
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for design in ("1P1L", "1P2L", "2P2L"):
+        for workload in ("sgemm", "sobel", "htap1"):
+            out[(design, workload)] = run_simulation(
+                make_system(design), workload=workload, size="small")
+    return out
+
+
+def ratio(runs, design, workload, metric):
+    return (getattr(runs[(design, workload)], metric)()
+            / max(1, getattr(runs[("1P1L", workload)], metric)()))
+
+
+class TestCycleShapes:
+    @pytest.mark.parametrize("workload,lo,hi", [
+        ("sgemm", 0.1, 0.7),
+        ("sobel", 0.2, 0.8),
+        ("htap1", 0.05, 0.5),
+    ])
+    def test_1p2l_reduction_band(self, runs, workload, lo, hi):
+        value = (runs[("1P2L", workload)].cycles
+                 / runs[("1P1L", workload)].cycles)
+        assert lo < value < hi, f"{workload}: {value:.3f}"
+
+    def test_2p2l_competitive_with_1p2l(self, runs):
+        for workload in ("sgemm", "sobel", "htap1"):
+            p1 = runs[("1P2L", workload)].cycles
+            p2 = runs[("2P2L", workload)].cycles
+            assert 0.5 < p2 / p1 < 2.0, workload
+
+
+class TestTrafficShapes:
+    def test_htap1_memory_bytes_band(self, runs):
+        value = ratio(runs, "1P2L", "htap1", "memory_bytes")
+        assert 0.1 < value < 0.5, value
+
+    def test_llc_requests_collapse(self, runs):
+        for workload in ("sgemm", "sobel", "htap1"):
+            value = ratio(runs, "1P2L", workload, "llc_requests")
+            assert value < 0.35, f"{workload}: {value:.3f}"
+
+
+class TestHitRateShapes:
+    def test_baseline_hit_rates_sane(self, runs):
+        # sgemm's column walks alias on the power-of-two pitch, so its
+        # baseline rate is legitimately low (EXPERIMENTS.md, Fig. 11).
+        for workload, floor in (("sgemm", 0.02), ("sobel", 0.2),
+                                ("htap1", 0.2)):
+            rate = runs[("1P1L", workload)].l1_hit_rate()
+            assert floor < rate < 0.99, f"{workload}: {rate:.3f}"
+
+    def test_sobel_mda_hit_rate_high(self, runs):
+        assert runs[("1P2L", "sobel")].l1_hit_rate() > 0.8

@@ -1,0 +1,109 @@
+"""Unit tests for hierarchy assembly and plumbing."""
+
+import pytest
+
+from repro.common.config import MemoryConfig, SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import StatRegistry
+from repro.common.types import AccessWidth, Orientation, Request
+from repro.cache.cache_1p1l import Cache1P1L
+from repro.cache.cache_1p2l import Cache1P2L
+from repro.cache.cache_2p2l import Cache2P2L
+from repro.cache.hierarchy import CacheHierarchy, build_cache_level
+from tests.conftest import small_config
+
+
+class TestFactory:
+    def test_taxonomy_dispatch(self):
+        stats = StatRegistry()
+        assert isinstance(build_cache_level(small_config(), 1, stats),
+                          Cache1P1L)
+        assert isinstance(
+            build_cache_level(small_config(logical_dims=2), 1, stats),
+            Cache1P2L)
+        assert isinstance(
+            build_cache_level(small_config(size_kb=4, assoc=2,
+                                           logical_dims=2,
+                                           physical_dims=2), 1, stats),
+            Cache2P2L)
+
+
+def two_level_system(logical_dims=2):
+    return SystemConfig(
+        levels=[small_config("L1", logical_dims=logical_dims),
+                small_config("L2", size_kb=4,
+                             logical_dims=logical_dims)],
+        memory=MemoryConfig())
+
+
+class TestHierarchy:
+    def test_levels_connected_in_order(self):
+        stats = StatRegistry()
+        hierarchy = CacheHierarchy(two_level_system(), stats)
+        assert hierarchy.l1.config.name == "L1"
+        assert hierarchy.llc.config.name == "L2"
+        assert hierarchy.l1.level_index == 1
+        assert hierarchy.llc.level_index == 2
+
+    def test_level_lookup_by_name(self):
+        hierarchy = CacheHierarchy(two_level_system(), StatRegistry())
+        assert hierarchy.level("L2").config.name == "L2"
+        with pytest.raises(ConfigError):
+            hierarchy.level("L9")
+
+    def test_miss_propagates_to_memory(self):
+        stats = StatRegistry()
+        hierarchy = CacheHierarchy(two_level_system(), stats)
+        req = Request(0, Orientation.ROW, AccessWidth.VECTOR, False)
+        result = hierarchy.access(req, 0)
+        assert result.hit_level == 0
+        assert stats.group("memory").get("line_reads") == 1
+        # Fill allocated at both levels.
+        assert stats.group("cache.L1").get("fills") == 1
+        assert stats.group("cache.L2").get("fills") == 1
+
+    def test_second_access_hits_l1(self):
+        hierarchy = CacheHierarchy(two_level_system(), StatRegistry())
+        req = Request(0, Orientation.ROW, AccessWidth.VECTOR, False)
+        hierarchy.access(req, 0)
+        result = hierarchy.access(req, 100_000)
+        assert result.hit_level == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        stats = StatRegistry()
+        # 1-D hierarchy: consecutive lines index sets round-robin.
+        hierarchy = CacheHierarchy(two_level_system(logical_dims=1),
+                                   stats)
+        # L1 is 1KB/4-way (16 lines); stream 16 more consecutive lines
+        # to evict line 0, which stays in the 4KB L2.
+        hierarchy.access(Request(0, Orientation.ROW, AccessWidth.VECTOR,
+                                 False), 0)
+        for k in range(1, 17):
+            hierarchy.access(Request(k * 64, Orientation.ROW,
+                                     AccessWidth.VECTOR, False),
+                             k * 100_000)
+        result = hierarchy.access(
+            Request(0, Orientation.ROW, AccessWidth.VECTOR, False),
+            10_000_000)
+        assert result.hit_level == 2
+
+    def test_occupancy_by_level(self):
+        hierarchy = CacheHierarchy(two_level_system(), StatRegistry())
+        hierarchy.access(Request(0, Orientation.COLUMN,
+                                 AccessWidth.VECTOR, False), 0)
+        occ = hierarchy.occupancy_by_level()
+        assert occ["L1"] == (0, 1)
+        assert occ["L2"] == (0, 1)
+
+    def test_flush_drains_dirty_data_to_memory(self):
+        stats = StatRegistry()
+        hierarchy = CacheHierarchy(two_level_system(), stats)
+        hierarchy.access(Request(0, Orientation.ROW, AccessWidth.VECTOR,
+                                 True), 0)
+        hierarchy.flush(100_000)
+        assert stats.group("memory").get("line_writes") >= 1
+        assert hierarchy.occupancy_by_level()["L1"] == (0, 0)
+
+    def test_finish_returns_horizon(self):
+        hierarchy = CacheHierarchy(two_level_system(), StatRegistry())
+        assert hierarchy.finish(123) == 123

@@ -1,0 +1,127 @@
+"""Integration tests: full design points on real (small) workloads.
+
+These check the qualitative claims of the paper on miniature runs:
+MDA designs cut memory traffic on column-affine kernels, all designs
+simulate deterministically, and internal invariants survive end-to-end
+execution.
+"""
+
+import pytest
+
+from repro.cache.cache_1p2l import Cache1P2L
+from repro.cache.cache_2p2l import Cache2P2L
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.stats import StatRegistry
+from repro.core.simulator import run_simulation
+from repro.core.system import make_resident_system, make_system
+from repro.core.cpu import TraceDrivenCpu
+from repro.sw.tracegen import generate_trace
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="module")
+def small_runs():
+    """One small run per design for the column-affine sobel kernel."""
+    return {design: run_simulation(make_system(design),
+                                   workload="sobel", size="small")
+            for design in ("1P1L", "1P2L", "1P2L_SameSet", "2P2L")}
+
+
+class TestDesignComparisons:
+    def test_mda_designs_beat_baseline_on_sobel(self, small_runs):
+        base = small_runs["1P1L"].cycles
+        for design in ("1P2L", "1P2L_SameSet", "2P2L"):
+            assert small_runs[design].cycles < base, design
+
+    def test_mda_designs_cut_memory_traffic(self):
+        """Column fetches avoid moving unused perpendicular data; htap1
+        (which reads only a few columns) shows it even when the small
+        working set is LLC-resident."""
+        runs = {design: run_simulation(make_system(design),
+                                       workload="htap1", size="small")
+                for design in ("1P1L", "1P2L", "1P2L_SameSet", "2P2L")}
+        base = runs["1P1L"].memory_bytes()
+        for design in ("1P2L", "1P2L_SameSet", "2P2L"):
+            assert runs[design].memory_bytes() < base, design
+
+    def test_mda_designs_cut_llc_requests(self, small_runs):
+        base = small_runs["1P1L"].llc_requests()
+        for design in ("1P2L", "1P2L_SameSet", "2P2L"):
+            assert small_runs[design].llc_requests() < base, design
+
+    def test_column_buffer_used_only_by_mda(self, small_runs):
+        assert small_runs["1P1L"].column_buffer_hits() == 0
+        assert small_runs["1P2L"].memory_reads() > 0
+
+    def test_mda_ops_fewer_via_column_vectorization(self, small_runs):
+        assert small_runs["1P2L"].ops < small_runs["1P1L"].ops
+
+
+class TestEndToEndInvariants:
+    @pytest.mark.parametrize("design", ["1P2L", "1P2L_SameSet"])
+    def test_duplication_invariant_after_full_run(self, design):
+        system = make_system(design)
+        stats = StatRegistry()
+        hierarchy = CacheHierarchy(system, stats)
+        program = build_workload("ssyr2k", "small")
+        trace = generate_trace(program, 2)
+        TraceDrivenCpu(system.cpu, hierarchy, stats).run(trace)
+        for level in hierarchy.levels:
+            assert isinstance(level, Cache1P2L)
+            level.check_invariants()
+
+    def test_2p2l_invariants_after_full_run(self):
+        system = make_system("2P2L")
+        stats = StatRegistry()
+        hierarchy = CacheHierarchy(system, stats)
+        program = build_workload("sgemm", "small")
+        trace = generate_trace(program, 2)
+        TraceDrivenCpu(system.cpu, hierarchy, stats).run(trace)
+        llc = hierarchy.llc
+        assert isinstance(llc, Cache2P2L)
+        llc.check_invariants()
+
+    @pytest.mark.parametrize("design", ["1P1L", "1P2L", "2P2L"])
+    def test_resident_systems_run(self, design):
+        result = run_simulation(make_resident_system(design),
+                                workload="htap1", size="small")
+        assert result.cycles > 0
+
+    def test_design3_extension_runs(self):
+        """2P2L at every level (the paper's future work, Design 3)."""
+        result = run_simulation(make_system("2P2L_L1"),
+                                workload="sgemm", size="small")
+        assert result.cycles > 0
+        assert result.l1_hit_rate() > 0
+
+
+class TestSensitivityKnobs:
+    def test_faster_memory_speeds_up_baseline(self):
+        from repro.common.config import MemoryConfig
+        slow = run_simulation(make_system("1P1L"), workload="sobel",
+                              size="small")
+        fast = run_simulation(
+            make_system("1P1L", memory=MemoryConfig().faster(1.6)),
+            workload="sobel", size="small")
+        assert fast.cycles < slow.cycles
+
+    def test_slow_write_2p2l_is_slower_or_equal(self):
+        base = run_simulation(make_system("2P2L"), workload="sgemm",
+                              size="small")
+        slow = run_simulation(make_system("2P2L_SlowWrite"),
+                              workload="sgemm", size="small")
+        assert slow.cycles >= base.cycles
+
+    def test_dense_2p2l_moves_more_data(self):
+        sparse = run_simulation(make_system("2P2L"), workload="sobel",
+                                size="small")
+        dense = run_simulation(make_system("2P2L_Dense"),
+                               workload="sobel", size="small")
+        assert dense.memory_bytes() >= sparse.memory_bytes()
+
+    def test_replacement_policy_changes_results(self):
+        lru = run_simulation(make_system("1P2L"), workload="sgemm",
+                             size="small", replacement="lru")
+        rnd = run_simulation(make_system("1P2L"), workload="sgemm",
+                             size="small", replacement="random")
+        assert lru.cycles != rnd.cycles

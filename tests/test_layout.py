@@ -1,0 +1,107 @@
+"""Unit tests for the memory layouts."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.common.types import (
+    Orientation,
+    line_id_of,
+    tile_coords,
+    tile_id,
+)
+from repro.sw.layout import LinearLayout, TiledLayout, make_layout
+from repro.sw.program import ArrayDecl
+
+
+def arrays(*shapes):
+    return [ArrayDecl(name, rows, cols)
+            for name, rows, cols in shapes]
+
+
+class TestLinearLayout:
+    def test_row_major_contiguous(self):
+        layout = LinearLayout(arrays(("A", 16, 16)))
+        base = layout.address_of("A", 0, 0)
+        assert layout.address_of("A", 0, 1) == base + 8
+        assert layout.address_of("A", 1, 0) == base + 16 * 8
+
+    def test_pitch_padded_to_line(self):
+        layout = LinearLayout(arrays(("A", 4, 5)))
+        assert layout.pitch_words("A") == 8
+        assert layout.padding_bytes() > 0
+
+    def test_arrays_do_not_overlap(self):
+        layout = LinearLayout(arrays(("A", 8, 8), ("B", 8, 8)))
+        a_last = layout.address_of("A", 7, 7)
+        b_first = layout.address_of("B", 0, 0)
+        assert b_first > a_last
+
+    def test_bounds_checked(self):
+        layout = LinearLayout(arrays(("A", 4, 4)))
+        with pytest.raises(AddressError):
+            layout.address_of("A", 4, 0)
+        with pytest.raises(AddressError):
+            layout.address_of("A", 0, -1)
+        with pytest.raises(AddressError):
+            layout.address_of("B", 0, 0)
+
+
+class TestTiledLayout:
+    def test_8x8_block_maps_to_one_tile(self):
+        layout = TiledLayout(arrays(("A", 16, 16)))
+        tiles = {tile_id(layout.address_of("A", i, j))
+                 for i in range(8) for j in range(8)}
+        assert len(tiles) == 1
+
+    def test_in_tile_coordinates_match_logical(self):
+        layout = TiledLayout(arrays(("A", 16, 16)))
+        for i, j in ((0, 0), (3, 5), (7, 7), (9, 12)):
+            addr = layout.address_of("A", i, j)
+            assert tile_coords(addr) == (i % 8, j % 8)
+
+    def test_column_alignment_property(self):
+        """Elements (i, j) and (i+1, j) in the same 8-row band map to
+        the same column line — the paper's MDA-compliance requirement."""
+        layout = TiledLayout(arrays(("A", 32, 32)))
+        for i in (0, 3, 9):
+            a = layout.address_of("A", i, 5)
+            b = layout.address_of("A", i + 1, 5)
+            assert line_id_of(a, Orientation.COLUMN) == \
+                line_id_of(b, Orientation.COLUMN)
+
+    def test_row_alignment_property(self):
+        layout = TiledLayout(arrays(("A", 32, 32)))
+        a = layout.address_of("A", 5, 0)
+        b = layout.address_of("A", 5, 7)
+        assert line_id_of(a, Orientation.ROW) == \
+            line_id_of(b, Orientation.ROW)
+
+    def test_padding_for_non_multiple_shapes(self):
+        layout = TiledLayout(arrays(("A", 9, 9)))
+        # 9x9 pads to 16x16 = 4 tiles.
+        assert layout.footprint_bytes() == 4 * 512
+        assert layout.data_bytes() == 81 * 8
+
+    def test_arrays_tile_disjoint(self):
+        layout = TiledLayout(arrays(("A", 8, 8), ("B", 8, 8)))
+        assert layout.tile_of("A", 0, 0) != layout.tile_of("B", 0, 0)
+
+    def test_tile_grid_row_major(self):
+        layout = TiledLayout(arrays(("A", 16, 16)))
+        t00 = layout.tile_of("A", 0, 0)
+        t01 = layout.tile_of("A", 0, 8)
+        t10 = layout.tile_of("A", 8, 0)
+        assert t01 == t00 + 1
+        assert t10 == t00 + 2
+
+
+class TestFactory:
+    def test_matches_logical_dims(self):
+        decls = arrays(("A", 8, 8))
+        assert isinstance(make_layout(decls, 1), LinearLayout)
+        assert isinstance(make_layout(decls, 2), TiledLayout)
+
+    def test_duplicate_array_names_rejected(self):
+        from repro.common.errors import ProgramError
+        with pytest.raises(ProgramError):
+            LinearLayout(arrays(("A", 4, 4), ("A", 4, 4)))

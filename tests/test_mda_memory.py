@@ -1,0 +1,58 @@
+"""Unit tests for the MdaMemory front-end."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatRegistry
+from repro.common.types import Orientation, make_line_id
+from repro.mem.mda_memory import MdaMemory
+
+
+def make_memory(allow_column: bool = True):
+    return MdaMemory(MemoryConfig(), StatRegistry(),
+                     allow_column=allow_column)
+
+
+class TestOrientationSupport:
+    def test_serves_row_and_column_reads(self):
+        mem = make_memory()
+        row_done = mem.read_line(make_line_id(0, Orientation.ROW, 0), 0)
+        col_done = mem.read_line(make_line_id(1, Orientation.COLUMN, 0),
+                                 0)
+        assert row_done > 0 and col_done > 0
+
+    def test_row_only_memory_rejects_columns(self):
+        mem = make_memory(allow_column=False)
+        mem.read_line(make_line_id(0, Orientation.ROW, 0), 0)
+        with pytest.raises(SimulationError):
+            mem.read_line(make_line_id(0, Orientation.COLUMN, 0), 0)
+        with pytest.raises(SimulationError):
+            mem.write_line(make_line_id(0, Orientation.COLUMN, 0), 0)
+
+    def test_column_read_in_requested_orientation_single_access(self):
+        """A column fetch is one memory operation, not eight row
+        openings (the paper's core bandwidth argument)."""
+        mem = make_memory()
+        stats = StatRegistry()
+        mem = MdaMemory(MemoryConfig(), stats)
+        mem.read_line(make_line_id(0, Orientation.COLUMN, 3), 0)
+        assert stats.group("memory").get("line_reads") == 1
+        banks = stats.group("memory.banks")
+        assert banks.get("col_buffer_misses") == 1
+        assert banks.get("row_buffer_misses") == 0
+
+
+class TestFinish:
+    def test_finish_drains_writes(self):
+        stats = StatRegistry()
+        mem = MdaMemory(MemoryConfig(), stats)
+        for tile in range(6):
+            mem.write_line(make_line_id(tile, Orientation.ROW, 0), 0)
+        horizon = mem.finish(0)
+        assert horizon > 0
+        assert mem.controller.pending_writes() == 0
+
+    def test_finish_with_empty_queue_is_noop(self):
+        mem = make_memory()
+        assert mem.finish(42) == 42

@@ -1,0 +1,109 @@
+"""Unit tests for the 2-D MSHR file."""
+
+from repro.common.stats import StatGroup
+from repro.common.types import Orientation, make_line_id
+from repro.cache.mshr import MshrFile
+
+
+def make_mshr(entries: int = 4):
+    stats = StatGroup("mshr")
+    return MshrFile(entries, stats), stats
+
+
+def row(tile: int, idx: int = 0) -> int:
+    return make_line_id(tile, Orientation.ROW, idx)
+
+
+def col(tile: int, idx: int = 0) -> int:
+    return make_line_id(tile, Orientation.COLUMN, idx)
+
+
+class TestCoalescing:
+    def test_outstanding_fill_visible_until_completion(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(row(0), now=0)
+        mshr.record(row(0), completion=100, level=0)
+        assert mshr.outstanding_fill(row(0), now=50) == (100, 0)
+        assert mshr.outstanding_fill(row(0), now=100) is None
+
+    def test_unrelated_line_not_outstanding(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(row(0), 0)
+        mshr.record(row(0), 100, 0)
+        assert mshr.outstanding_fill(row(1), 10) is None
+
+
+class TestOrderingBarrier:
+    def test_perpendicular_same_tile_blocks(self):
+        mshr, stats = make_mshr()
+        mshr.allocate(col(3, 2), 0)
+        mshr.record(col(3, 2), 80, 0)
+        assert mshr.ordering_barrier(row(3, 1), now=10) == 80
+        assert stats.get("ordering_blocks") == 1
+
+    def test_parallel_lines_do_not_block(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(row(3, 1), 0)
+        mshr.record(row(3, 1), 80, 0)
+        assert mshr.ordering_barrier(row(3, 2), now=10) == 10
+
+    def test_other_tile_does_not_block(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(col(3, 2), 0)
+        mshr.record(col(3, 2), 80, 0)
+        assert mshr.ordering_barrier(row(4, 1), now=10) == 10
+
+    def test_same_line_barrier_is_its_completion(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(row(1), 0)
+        mshr.record(row(1), 60, 0)
+        assert mshr.ordering_barrier(row(1), now=10) == 60
+
+
+class TestCapacity:
+    def test_full_file_stalls_new_miss(self):
+        mshr, stats = make_mshr(entries=2)
+        mshr.allocate(row(0), 0)
+        mshr.record(row(0), 50, 0)
+        mshr.allocate(row(1), 0)
+        mshr.record(row(1), 70, 0)
+        issue = mshr.allocate(row(2), now=10)
+        # Must wait for the earliest (50) to retire.
+        assert issue == 50
+        assert stats.get("full_stalls") == 1
+        assert len(mshr) == 2  # row(0) retired, row(1) + row(2)
+
+    def test_allocation_counts(self):
+        mshr, stats = make_mshr()
+        mshr.allocate(row(0), 0)
+        mshr.allocate(row(1), 0)
+        assert stats.get("allocations") == 2
+
+    def test_clear_empties(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(row(0), 0)
+        mshr.clear()
+        assert len(mshr) == 0
+
+    def test_rejects_zero_entries(self):
+        import pytest
+        with pytest.raises(ValueError):
+            MshrFile(0, StatGroup("x"))
+
+
+class TestRetirement:
+    def test_lazy_retire_by_time(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(row(0), 0)
+        mshr.record(row(0), 30, 0)
+        mshr.allocate(row(1), 0)
+        mshr.record(row(1), 90, 0)
+        mshr.retire_completed(now=40)
+        assert len(mshr) == 1
+        assert mshr.outstanding_fill(row(1), 40) == (90, 0)
+
+    def test_record_keeps_serving_level(self):
+        mshr, _ = make_mshr()
+        mshr.allocate(row(0), 0)
+        mshr.record(row(0), 30, level=2)
+        assert mshr.outstanding_fill(row(0), 0) == (30, 2)

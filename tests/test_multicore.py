@@ -1,0 +1,114 @@
+"""Tests for the multiprogrammed simulation mode."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import ConfigError
+from repro.core.multicore import (
+    as_run_result,
+    run_multiprogrammed,
+)
+from repro.core.simulator import run_simulation
+from repro.core.system import make_resident_system, make_system
+from repro.workloads.registry import build_workload
+
+
+def programs(*names, size="small"):
+    return [build_workload(name, size) for name in names]
+
+
+class TestBasics:
+    def test_two_cores_produce_per_core_results(self):
+        result = run_multiprogrammed(make_system("1P2L"),
+                                     programs("sobel", "htap1"))
+        assert len(result.cores) == 2
+        assert {c.workload for c in result.cores} == {"sobel", "htap1"}
+        assert result.makespan == max(c.cycles for c in result.cores)
+        assert result.throughput_weighted_cycles >= result.makespan
+
+    def test_single_program_close_to_single_core_run(self):
+        """With one core, the multiprogrammed path reduces to the
+        plain simulator (same hierarchy shape, same trace)."""
+        solo = run_simulation(make_system("1P2L"), workload="sobel",
+                              size="small")
+        multi = run_multiprogrammed(make_system("1P2L"),
+                                    programs("sobel"))
+        # Not exactly equal (end-of-run drain accounting differs), but
+        # within a few percent.
+        assert multi.cores[0].cycles == pytest.approx(solo.cycles,
+                                                      rel=0.05)
+
+    def test_private_stats_namespaced(self):
+        result = run_multiprogrammed(make_system("1P2L"),
+                                     programs("sobel", "htap1"))
+        assert "cache.c0.L1" in result.stats
+        assert "cache.c1.L1" in result.stats
+        assert "cache.L3" in result.stats  # shared LLC keeps its name
+
+    def test_address_spaces_disjoint(self):
+        """Co-running two copies of one kernel must not share lines:
+        combined memory traffic is roughly double a solo run's."""
+        solo = run_simulation(make_system("1P1L"), workload="sobel",
+                              size="small")
+        pair = run_multiprogrammed(make_system("1P1L"),
+                                   programs("sobel", "sobel"))
+        assert pair.memory_bytes() >= 1.5 * solo.memory_bytes()
+
+    def test_rejects_empty_program_list(self):
+        with pytest.raises(ConfigError):
+            run_multiprogrammed(make_system("1P2L"), [])
+
+    def test_rejects_single_level_system(self):
+        from repro.common.config import SystemConfig
+        from tests.conftest import small_config
+        single = SystemConfig(levels=[small_config()])
+        with pytest.raises(ConfigError):
+            run_multiprogrammed(single, programs("sobel"))
+
+
+class TestInterference:
+    def test_colocation_slows_each_core(self):
+        solo = run_simulation(make_system("1P1L"), workload="htap1",
+                              size="small")
+        pair = run_multiprogrammed(make_system("1P1L"),
+                                   programs("htap1", "htap1"))
+        for core in pair.cores:
+            assert core.cycles >= solo.cycles * 0.9
+
+    def test_mda_benefit_survives_colocation(self):
+        base = run_multiprogrammed(make_system("1P1L"),
+                                   programs("sobel", "htap1"))
+        mda = run_multiprogrammed(make_system("1P2L"),
+                                  programs("sobel", "htap1"))
+        assert mda.makespan < base.makespan
+
+    def test_sub_buffers_help_multiprogrammed_baseline(self):
+        """The paper's Section IX-B expectation."""
+        progs = programs("sobel", "htap2")
+        one = run_multiprogrammed(make_system("1P1L"), progs)
+        progs = programs("sobel", "htap2")
+        four = run_multiprogrammed(
+            make_system("1P1L", memory=MemoryConfig(sub_buffers=4)),
+            progs)
+        assert four.makespan < one.makespan
+
+    def test_three_cores_supported(self):
+        result = run_multiprogrammed(
+            make_system("1P2L"),
+            programs("sobel", "htap1", "htap2"))
+        assert len(result.cores) == 3
+
+    def test_resident_two_level_system_works(self):
+        result = run_multiprogrammed(make_resident_system("1P2L"),
+                                     programs("sobel", "htap1"))
+        assert result.makespan > 0
+
+
+class TestAsRunResult:
+    def test_view_fields(self):
+        result = run_multiprogrammed(make_system("1P2L"),
+                                     programs("sobel", "htap1"))
+        view = as_run_result(result)
+        assert view.workload == "sobel+htap1"
+        assert view.cycles == result.makespan
+        assert view.memory_bytes() == result.memory_bytes()

@@ -1,0 +1,108 @@
+"""Unit tests for the dynamic orientation predictor."""
+
+import pytest
+
+from repro.common.stats import StatGroup
+from repro.common.types import Orientation, word_addr
+from repro.cache.orientation_predictor import OrientationPredictor
+
+
+def make_predictor(**kwargs):
+    return OrientationPredictor(StatGroup("pred"), **kwargs)
+
+
+def column_walk(tile=0, col=3):
+    """Addresses walking down one column of a tile."""
+    return [word_addr(tile, r, col) for r in range(8)]
+
+
+def row_walk(tile=0, row=3):
+    return [word_addr(tile, row, c) for c in range(8)]
+
+
+class TestTraining:
+    def test_column_walk_learned(self):
+        pred = make_predictor(threshold=2)
+        outcomes = [pred.observe_and_predict(1, addr, Orientation.ROW)
+                    for addr in column_walk()]
+        # Early accesses fall back to the static hint; later ones
+        # override to COLUMN.
+        assert outcomes[0] is Orientation.ROW
+        assert outcomes[-1] is Orientation.COLUMN
+
+    def test_row_walk_confirms_row(self):
+        pred = make_predictor(threshold=2)
+        outcomes = [pred.observe_and_predict(1, addr, Orientation.COLUMN)
+                    for addr in row_walk()]
+        assert outcomes[-1] is Orientation.ROW
+
+    def test_confidence_saturates(self):
+        pred = make_predictor(threshold=2, saturation=3)
+        for addr in column_walk():
+            pred.observe_and_predict(1, addr, Orientation.ROW)
+        assert pred.confidence(1) == 3
+
+    def test_tile_boundary_does_not_flip_prediction(self):
+        """Crossing into the next tile leaves both lines; the counter
+        must hold its learned value."""
+        pred = make_predictor(threshold=2)
+        for addr in column_walk(tile=0):
+            pred.observe_and_predict(1, addr, Orientation.ROW)
+        confident = pred.confidence(1)
+        # First access of the next tile: discontinuity.
+        pred.observe_and_predict(1, word_addr(1, 0, 3), Orientation.ROW)
+        assert pred.confidence(1) == confident
+
+    def test_independent_references(self):
+        pred = make_predictor(threshold=2)
+        for addr_c, addr_r in zip(column_walk(tile=0), row_walk(tile=1)):
+            col_out = pred.observe_and_predict(1, addr_c,
+                                               Orientation.ROW)
+            row_out = pred.observe_and_predict(2, addr_r,
+                                               Orientation.ROW)
+        assert col_out is Orientation.COLUMN
+        assert row_out is Orientation.ROW
+
+
+class TestTableManagement:
+    def test_capacity_eviction(self):
+        pred = make_predictor(table_entries=2)
+        pred.observe_and_predict(1, 0, Orientation.ROW)
+        pred.observe_and_predict(2, 0, Orientation.ROW)
+        pred.observe_and_predict(3, 0, Orientation.ROW)
+        assert pred.confidence(1) == 0  # evicted
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make_predictor(threshold=5, saturation=4)
+
+    def test_stats_counted(self):
+        stats = StatGroup("pred")
+        pred = OrientationPredictor(stats, threshold=2)
+        for addr in column_walk():
+            pred.observe_and_predict(1, addr, Orientation.ROW)
+        assert stats.get("overrides") > 0
+        assert stats.get("static_fallbacks") > 0
+
+
+class TestCacheIntegration:
+    def test_dyn_design_learns_columns_on_legacy_trace(self):
+        """End to end: legacy scalar column walks on the tiled layout
+        produce column-oriented resident lines only with the
+        predictor enabled."""
+        from repro.core.simulator import run_simulation
+        from repro.core.system import make_system
+        from repro.sw.layout import TiledLayout
+        from repro.workloads.registry import build_workload
+        program = build_workload("sobel", "small")
+        layout = TiledLayout(program.arrays)
+        static = run_simulation(make_system("1P2L"), program=program,
+                                layout=layout, compile_dims=1)
+        dyn = run_simulation(make_system("1P2L_Dyn"), program=program,
+                             layout=layout, compile_dims=1)
+        static_fills = static.stats.group("cache.L1").get("fills")
+        dyn_fills = dyn.stats.group("cache.L1").get("fills")
+        assert dyn_fills < static_fills
+        overrides = dyn.stats.group("cache.L1.orientation") \
+            .get("overrides")
+        assert overrides > 0

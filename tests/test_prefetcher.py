@@ -1,0 +1,90 @@
+"""Unit tests for the stride prefetcher."""
+
+from repro.common.config import PrefetcherConfig
+from repro.common.stats import StatGroup
+from repro.common.types import Orientation, line_id_of
+from repro.cache.prefetcher import StridePrefetcher
+
+
+def make_pf(**kwargs):
+    defaults = dict(enabled=True, degree=2, table_entries=4,
+                    train_threshold=2)
+    defaults.update(kwargs)
+    return StridePrefetcher(PrefetcherConfig(**defaults),
+                            StatGroup("pf"))
+
+
+class TestTraining:
+    def test_no_prefetch_before_threshold(self):
+        pf = make_pf()
+        assert pf.observe(1, 0) == []
+        assert pf.observe(1, 64) == []   # stride learned, conf 1
+        # Third access confirms the stride.
+        assert pf.observe(1, 128) != []
+
+    def test_prefetch_targets_follow_stride(self):
+        pf = make_pf(degree=3)
+        pf.observe(1, 0)
+        pf.observe(1, 256)
+        lines = pf.observe(1, 512)
+        expected = [line_id_of(512 + 256 * k, Orientation.ROW)
+                    for k in (1, 2, 3)]
+        assert lines == expected
+
+    def test_stride_change_resets_confidence(self):
+        pf = make_pf()
+        pf.observe(1, 0)
+        pf.observe(1, 64)
+        pf.observe(1, 128)
+        assert pf.observe(1, 128 + 256) == []  # new stride
+        assert pf.observe(1, 128 + 512) != []  # re-trained
+
+    def test_zero_stride_ignored(self):
+        pf = make_pf()
+        pf.observe(1, 64)
+        assert pf.observe(1, 64) == []
+        assert pf.observe(1, 64) == []
+
+    def test_small_strides_dedup_lines(self):
+        """8-byte strides inside one line must not emit duplicates."""
+        pf = make_pf(degree=4)
+        pf.observe(1, 0)
+        pf.observe(1, 8)
+        lines = pf.observe(1, 16)
+        assert len(lines) == len(set(lines))
+
+
+class TestTableManagement:
+    def test_disabled_prefetcher_is_inert(self):
+        pf = make_pf(enabled=False)
+        for addr in (0, 64, 128, 192):
+            assert pf.observe(1, addr) == []
+
+    def test_independent_reference_streams(self):
+        pf = make_pf()
+        pf.observe(1, 0)
+        pf.observe(2, 1000)
+        pf.observe(1, 64)
+        pf.observe(2, 2000)
+        assert pf.observe(1, 128) != []
+        assert pf.observe(2, 3000) != []
+
+    def test_table_eviction_on_overflow(self):
+        pf = make_pf(table_entries=2)
+        pf.observe(1, 0)
+        pf.observe(2, 0)
+        pf.observe(3, 0)  # evicts ref 1
+        pf.observe(1, 64)  # re-enters cold
+        pf.observe(1, 128)
+        assert pf.observe(1, 192) != []
+
+    def test_covered_bytes_reporting(self):
+        assert make_pf(degree=4).covered_bytes() == 256
+        assert make_pf(enabled=False).covered_bytes() is None
+
+    def test_negative_target_addresses_dropped(self):
+        pf = make_pf(degree=4)
+        pf.observe(1, 1024)
+        pf.observe(1, 512)
+        lines = pf.observe(1, 0)  # stride -512: targets go negative
+        assert lines == []

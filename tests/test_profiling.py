@@ -1,0 +1,76 @@
+"""Unit tests for profiling-based orientation annotation."""
+
+from repro.common.types import Orientation
+from repro.sw.profiling import ProfileVerdict, profile_directions, profile_ref
+from repro.sw.layout import TiledLayout
+from repro.sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+
+
+def diagonal_program(n=16):
+    """Z[i+j][i+j] — innermost j in both subscripts: undiscernible
+    statically (the paper's profiling case), and genuinely unbiased."""
+    z = ArrayDecl("Z", 2 * n, 2 * n)
+    nest = LoopNest(
+        "diag", [Loop.over("i", n), Loop.over("j", n)],
+        [ArrayRef(z, Affine.of("i") + Affine.of("j"),
+                  Affine.of("i") + Affine.of("j"))])
+    return Program("diag", [z], [nest])
+
+
+def steep_walk_program(n=16):
+    """V[j][8*j] — both subscripts move with j (statically ambiguous).
+
+    Moving eight columns per step leaves the tile horizontally every
+    step, so *neither* orientation has dense locality — an affine ref
+    that is statically ambiguous can never be column-biased (a column
+    bias needs the column subscript frozen across steps, which static
+    analysis would have discerned)."""
+    v = ArrayDecl("V", n, 8 * n)
+    nest = LoopNest(
+        "steep", [Loop.over("i", 2), Loop.over("j", n)],
+        [ArrayRef(v, Affine.of("j"), Affine.of("j", coeff=8))])
+    return Program("steep", [v], [nest])
+
+
+class TestProfileRef:
+    def test_row_walk_profiles_row_dense(self):
+        a = ArrayDecl("A", 16, 16)
+        nest = LoopNest("n", [Loop.over("i", 16), Loop.over("j", 16)],
+                        [ArrayRef(a, Affine.of("i"), Affine.of("j"))])
+        verdict = profile_ref(nest, nest.refs[0], TiledLayout([a]))
+        assert verdict.row_switches < verdict.col_switches
+        assert verdict.orientation is Orientation.ROW
+
+    def test_column_walk_profiles_column_dense(self):
+        a = ArrayDecl("A", 16, 16)
+        nest = LoopNest("n", [Loop.over("i", 16), Loop.over("j", 16)],
+                        [ArrayRef(a, Affine.of("j"), Affine.of("i"))])
+        verdict = profile_ref(nest, nest.refs[0], TiledLayout([a]))
+        assert verdict.col_switches < verdict.row_switches
+        assert verdict.orientation is Orientation.COLUMN
+
+    def test_tie_defaults_to_row(self):
+        verdict = ProfileVerdict("n", "A", row_switches=4,
+                                 col_switches=4)
+        assert verdict.orientation is Orientation.ROW
+
+
+class TestProfileDirections:
+    def test_only_undiscerned_refs_profiled(self):
+        from repro.workloads.blas import build_sgemm
+        verdicts = profile_directions(build_sgemm(16))
+        assert verdicts == {}  # sgemm is fully discernible statically
+
+    def test_diagonal_ref_profiled_and_unbiased(self):
+        verdicts = profile_directions(diagonal_program())
+        assert len(verdicts) == 1
+        ((nest_name, _), verdict), = verdicts.items()
+        assert nest_name == "diag"
+        # A pure diagonal leaves both lines every step: tie -> ROW.
+        assert verdict.orientation is Orientation.ROW
+
+    def test_steep_walk_has_no_bias(self):
+        verdicts = profile_directions(steep_walk_program())
+        (_, verdict), = verdicts.items()
+        assert verdict.col_switches == verdict.row_switches
+        assert verdict.orientation is Orientation.ROW

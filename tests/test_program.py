@@ -1,0 +1,135 @@
+"""Unit tests for the program IR."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.sw.program import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Program,
+)
+
+
+class TestAffine:
+    def test_constant(self):
+        expr = Affine.constant(5)
+        assert expr.evaluate({}) == 5
+        assert expr.coeff("i") == 0
+
+    def test_variable_with_coeff_and_const(self):
+        expr = Affine.of("i", coeff=3, const=2)
+        assert expr.evaluate({"i": 4}) == 14
+        assert expr.coeff("i") == 3
+
+    def test_zero_coeff_collapses_to_constant(self):
+        expr = Affine.of("i", coeff=0, const=7)
+        assert expr.variables() == ()
+        assert expr.evaluate({}) == 7
+
+    def test_addition_merges_terms(self):
+        expr = Affine.of("i") + Affine.of("j", coeff=2) + 3
+        assert expr.evaluate({"i": 1, "j": 2}) == 8
+        assert set(expr.variables()) == {"i", "j"}
+
+    def test_addition_cancels_terms(self):
+        expr = Affine.of("i") + Affine.of("i", coeff=-1)
+        assert expr.variables() == ()
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ProgramError):
+            Affine.of("i").evaluate({"j": 0})
+
+    def test_str_representation(self):
+        assert "i" in str(Affine.of("i", const=1))
+        assert str(Affine.constant(0)) == "0"
+
+
+class TestDeclarations:
+    def test_array_shape_validated(self):
+        with pytest.raises(ProgramError):
+            ArrayDecl("A", 0, 4)
+
+    def test_elements(self):
+        assert ArrayDecl("A", 3, 4).elements == 12
+
+    def test_ref_position_validated(self):
+        a = ArrayDecl("A", 4, 4)
+        with pytest.raises(ProgramError):
+            ArrayRef(a, Affine.of("i"), Affine.of("j"), when="during")
+
+
+class TestLoopNest:
+    def _nest(self):
+        a = ArrayDecl("A", 8, 8)
+        return LoopNest(
+            name="n",
+            loops=[Loop.over("i", 8), Loop.over("j", 8)],
+            refs=[ArrayRef(a, Affine.of("i"), Affine.of("j"))],
+        )
+
+    def test_innermost(self):
+        assert self._nest().innermost.var == "j"
+
+    def test_duplicate_loop_vars_rejected(self):
+        with pytest.raises(ProgramError):
+            LoopNest("n", [Loop.over("i", 4), Loop.over("i", 4)])
+
+    def test_unbound_ref_var_rejected(self):
+        a = ArrayDecl("A", 4, 4)
+        with pytest.raises(ProgramError):
+            LoopNest("n", [Loop.over("i", 4)],
+                     [ArrayRef(a, Affine.of("i"), Affine.of("k"))])
+
+    def test_resolved_refs_defaults_to_full_depth(self):
+        nest = self._nest()
+        ref = nest.resolved_refs()[0]
+        assert ref.depth == 2
+
+    def test_controlling_var_by_depth(self):
+        a = ArrayDecl("A", 8, 8)
+        nest = LoopNest(
+            "n", [Loop.over("i", 8), Loop.over("j", 8)],
+            [ArrayRef(a, Affine.of("i"), Affine.constant(0), depth=1)])
+        assert nest.controlling_var(nest.refs[0]) == "i"
+
+    def test_triangular_bounds(self):
+        loop = Loop.bounded("k", Affine.of("i"), 8)
+        assert loop.lower.evaluate({"i": 3}) == 3
+        assert loop.upper.evaluate({}) == 8
+
+
+class TestProgram:
+    def test_duplicate_arrays_rejected(self):
+        a = ArrayDecl("A", 4, 4)
+        with pytest.raises(ProgramError):
+            Program("p", [a, ArrayDecl("A", 4, 4)], [])
+
+    def test_undeclared_array_in_nest_rejected(self):
+        a = ArrayDecl("A", 4, 4)
+        b = ArrayDecl("B", 4, 4)
+        nest = LoopNest("n", [Loop.over("i", 4)],
+                        [ArrayRef(b, Affine.of("i"), Affine.constant(0))])
+        with pytest.raises(ProgramError):
+            Program("p", [a], [nest])
+
+    def test_array_lookup(self):
+        a = ArrayDecl("A", 4, 4)
+        prog = Program("p", [a], [])
+        assert prog.array("A") is a
+        with pytest.raises(ProgramError):
+            prog.array("Z")
+
+    def test_static_refs_in_order(self):
+        a = ArrayDecl("A", 8, 8)
+        nest1 = LoopNest("n1", [Loop.over("i", 8)],
+                         [ArrayRef(a, Affine.of("i"),
+                                   Affine.constant(0))])
+        nest2 = LoopNest("n2", [Loop.over("j", 8)],
+                         [ArrayRef(a, Affine.constant(0),
+                                   Affine.of("j"))])
+        prog = Program("p", [a], [nest1, nest2])
+        pairs = list(prog.static_refs())
+        assert [nest.name for nest, _ in pairs] == ["n1", "n2"]

@@ -1,0 +1,136 @@
+"""Property-based tests: cache invariants under random traffic.
+
+The strongest properties in the design:
+
+* **Fig. 9 invariant** (1P2L): a word dirty in one line is present in
+  no other line — checked after every request of random sequences.
+* **Dirty-word conservation**: every word the CPU ever wrote is covered
+  by some writeback mask at the lower level once the cache is flushed
+  (no silent loss of modifications).
+* **2P2L mask sanity**: dirty lines are always present; masks are 8-bit.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.stats import StatRegistry
+from repro.common.types import (
+    AccessWidth,
+    Orientation,
+    Request,
+    word_addr,
+)
+from repro.cache.cache_1p2l import Cache1P2L
+from repro.cache.cache_2p2l import Cache2P2L
+from tests.conftest import FakeLower, small_config
+
+# Confine traffic to 4 tiles so collisions/duplications are common.
+request_strategy = st.builds(
+    Request,
+    addr=st.builds(word_addr,
+                   st.integers(min_value=0, max_value=3),
+                   st.integers(min_value=0, max_value=7),
+                   st.integers(min_value=0, max_value=7)),
+    orientation=st.sampled_from(list(Orientation)),
+    width=st.sampled_from(list(AccessWidth)),
+    is_write=st.booleans(),
+)
+
+sequences = st.lists(request_strategy, min_size=1, max_size=60)
+
+
+def drive(cache, requests):
+    now = 0
+    for req in requests:
+        now += 100_000  # let every fill settle between requests
+        cache.access(req, now)
+    return now
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences)
+def test_1p2l_duplication_invariant_holds(requests):
+    cache = Cache1P2L(small_config(size_kb=1, assoc=4, logical_dims=2),
+                      1, StatRegistry())
+    cache.connect(FakeLower())
+    now = 0
+    for req in requests:
+        now += 100_000
+        cache.access(req, now)
+        cache.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences)
+def test_1p2l_dirty_words_conserved(requests):
+    """Every word written by the CPU reaches the lower level."""
+    cache = Cache1P2L(small_config(size_kb=1, assoc=4, logical_dims=2),
+                      1, StatRegistry())
+    lower = FakeLower()
+    cache.connect(lower)
+    written = set()
+    now = drive(cache, requests)
+    for req in requests:
+        if req.is_write:
+            written.update(req.words())
+    cache.flush(now + 100_000)
+    assert written <= lower.written_words()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences)
+def test_1p2l_same_set_mapping_also_safe(requests):
+    cache = Cache1P2L(small_config(size_kb=1, assoc=4, logical_dims=2,
+                                   mapping="same_set"),
+                      1, StatRegistry())
+    cache.connect(FakeLower())
+    now = 0
+    for req in requests:
+        now += 100_000
+        cache.access(req, now)
+    cache.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences, st.booleans())
+def test_2p2l_invariants_hold(requests, sparse):
+    cache = Cache2P2L(small_config(size_kb=1, assoc=2, logical_dims=2,
+                                   physical_dims=2, sparse_fill=sparse),
+                      1, StatRegistry())
+    cache.connect(FakeLower())
+    now = 0
+    for req in requests:
+        now += 100_000
+        cache.access(req, now)
+        cache.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences)
+def test_2p2l_dirty_words_conserved(requests):
+    cache = Cache2P2L(small_config(size_kb=1, assoc=2, logical_dims=2,
+                                   physical_dims=2),
+                      1, StatRegistry())
+    lower = FakeLower()
+    cache.connect(lower)
+    written = set()
+    now = drive(cache, requests)
+    for req in requests:
+        if req.is_write:
+            written.update(req.words())
+    cache.flush(now + 100_000)
+    assert written <= lower.written_words()
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequences)
+def test_1p2l_latencies_are_positive_and_bounded(requests):
+    cache = Cache1P2L(small_config(size_kb=1, assoc=4, logical_dims=2),
+                      1, StatRegistry())
+    cache.connect(FakeLower(latency=100))
+    now = 0
+    for req in requests:
+        now += 100_000
+        result = cache.access(req, now)
+        assert result.latency > 0
+        # Fill (100) + probes + data can never exceed a small bound.
+        assert result.latency < 500

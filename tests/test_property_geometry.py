@@ -1,0 +1,89 @@
+"""Property-based tests for the address/line geometry."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.types import (
+    LINES_PER_TILE,
+    Orientation,
+    WORDS_PER_LINE,
+    intersecting_line,
+    line_id_of,
+    line_id_parts,
+    line_word_offset,
+    line_words,
+    lines_overlap,
+    make_line_id,
+    perpendicular_lines,
+    tile_coords,
+    word_addr,
+)
+
+addrs = st.integers(min_value=0, max_value=2**40).map(lambda a: a & ~7)
+orientations = st.sampled_from(list(Orientation))
+tiles = st.integers(min_value=0, max_value=2**30)
+indices = st.integers(min_value=0, max_value=7)
+
+
+@given(addrs, orientations)
+def test_address_word_is_in_its_line(addr, orientation):
+    line = line_id_of(addr, orientation)
+    assert (addr >> 3) in line_words(line)
+
+
+@given(addrs, orientations)
+def test_line_word_offset_inverts_line_words(addr, orientation):
+    line = line_id_of(addr, orientation)
+    words = line_words(line)
+    assert len(words) == WORDS_PER_LINE
+    for offset, word in enumerate(words):
+        assert line_word_offset(line, word) == offset
+
+
+@given(tiles, orientations, indices)
+def test_line_id_roundtrip(tile, orientation, index):
+    line = make_line_id(tile, orientation, index)
+    assert line_id_parts(line) == (tile, orientation, index)
+
+
+@given(addrs)
+def test_intersecting_line_is_involution(addr):
+    word = addr >> 3
+    row = line_id_of(addr, Orientation.ROW)
+    col = intersecting_line(row, word)
+    assert line_id_parts(col)[1] is Orientation.COLUMN
+    assert intersecting_line(col, word) == row
+
+
+@given(addrs)
+def test_row_and_column_lines_share_exactly_the_word_cell(addr):
+    row = line_id_of(addr, Orientation.ROW)
+    col = line_id_of(addr, Orientation.COLUMN)
+    shared = set(line_words(row)) & set(line_words(col))
+    assert shared == {addr >> 3}
+
+
+@given(tiles, orientations, indices, tiles, orientations, indices)
+def test_lines_overlap_iff_word_sets_intersect(t1, o1, i1, t2, o2, i2):
+    a = make_line_id(t1, o1, i1)
+    b = make_line_id(t2, o2, i2)
+    geometric = lines_overlap(a, b)
+    actual = bool(set(line_words(a)) & set(line_words(b)))
+    assert geometric == actual
+    assert lines_overlap(b, a) == geometric
+
+
+@given(tiles, orientations, indices)
+def test_perpendicular_lines_all_cross(tile, orientation, index):
+    line = make_line_id(tile, orientation, index)
+    perps = perpendicular_lines(line)
+    assert len(perps) == LINES_PER_TILE
+    for perp in perps:
+        assert lines_overlap(line, perp)
+
+
+@given(tiles, st.integers(min_value=0, max_value=7),
+       st.integers(min_value=0, max_value=7))
+def test_word_addr_tile_coords_roundtrip(tile, r, c):
+    addr = word_addr(tile, r, c)
+    assert tile_coords(addr) == (r, c)
+    assert addr >> 9 == tile

@@ -1,0 +1,89 @@
+"""Property-based tests for memory layouts and trace generation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import Orientation, line_id_of
+from repro.sw.layout import LinearLayout, TiledLayout
+from repro.sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+from repro.sw.tracegen import generate_trace
+
+shapes = st.tuples(st.integers(min_value=1, max_value=40),
+                   st.integers(min_value=1, max_value=40))
+
+
+@settings(max_examples=50, deadline=None)
+@given(shapes, st.data())
+def test_tiled_layout_column_alignment(shape, data):
+    rows, cols = shape
+    layout = TiledLayout([ArrayDecl("A", rows, cols)])
+    i = data.draw(st.integers(min_value=0, max_value=rows - 1))
+    j = data.draw(st.integers(min_value=0, max_value=cols - 1))
+    addr = layout.address_of("A", i, j)
+    # Same 8-row band, same column -> same column line.
+    band = i - i % 8
+    for other in range(band, min(band + 8, rows)):
+        other_addr = layout.address_of("A", other, j)
+        assert line_id_of(other_addr, Orientation.COLUMN) == \
+            line_id_of(addr, Orientation.COLUMN)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(shapes, min_size=1, max_size=4), st.data())
+def test_layouts_are_injective(shapes_list, data):
+    """Distinct elements never share an address, across arrays."""
+    decls = [ArrayDecl(f"A{k}", r, c)
+             for k, (r, c) in enumerate(shapes_list)]
+    layout_cls = data.draw(st.sampled_from([LinearLayout, TiledLayout]))
+    layout = layout_cls(decls)
+    seen = {}
+    for decl in decls:
+        for i in range(0, decl.rows, max(1, decl.rows // 5)):
+            for j in range(0, decl.cols, max(1, decl.cols // 5)):
+                addr = layout.address_of(decl.name, i, j)
+                key = (decl.name, i, j)
+                assert addr not in seen or seen[addr] == key
+                seen[addr] = key
+
+
+@settings(max_examples=50, deadline=None)
+@given(shapes)
+def test_footprint_covers_data(shape):
+    rows, cols = shape
+    decls = [ArrayDecl("A", rows, cols)]
+    for layout in (LinearLayout(decls), TiledLayout(decls)):
+        assert layout.footprint_bytes() >= layout.data_bytes()
+        assert layout.padding_bytes() >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=8, max_value=32).map(lambda n: n - n % 8),
+       st.sampled_from([1, 2]))
+def test_trace_addresses_in_bounds(n, dims):
+    """Every generated request address falls inside the mapped space."""
+    a = ArrayDecl("A", n, n)
+    nest = LoopNest("n", [Loop.over("i", n), Loop.over("j", n)],
+                    [ArrayRef(a, Affine.of("i"), Affine.of("j")),
+                     ArrayRef(a, Affine.of("j"), Affine.of("i"))])
+    program = Program("p", [a], [nest])
+    from repro.sw.layout import make_layout
+    layout = make_layout([a], dims)
+    top = layout.footprint_bytes()
+    for req in generate_trace(program, dims):
+        assert 0 <= req.addr < top
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=8, max_value=24))
+def test_vector_groups_cover_every_element(n):
+    """The union of words touched by a row-walk trace equals the array
+    footprint it reads, regardless of alignment."""
+    a = ArrayDecl("A", 1, n)
+    nest = LoopNest("n", [Loop.over("j", n)],
+                    [ArrayRef(a, Affine.constant(0), Affine.of("j"))])
+    program = Program("p", [a], [nest])
+    layout = TiledLayout([a])
+    touched = set()
+    for req in generate_trace(program, 2, layout):
+        touched.update(req.words())
+    expected = {layout.address_of("A", 0, j) >> 3 for j in range(n)}
+    assert expected <= touched

@@ -1,0 +1,70 @@
+"""Property-based tests for the MSHR file under random op sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.stats import StatGroup
+from repro.common.types import Orientation, make_line_id
+from repro.cache.mshr import MshrFile
+
+line_ids = st.builds(make_line_id,
+                     st.integers(min_value=0, max_value=7),
+                     st.sampled_from(list(Orientation)),
+                     st.integers(min_value=0, max_value=7))
+
+# An op is (line, completion_delta): allocate+record with a monotonic
+# clock advancing a random amount per step.
+ops = st.lists(st.tuples(line_ids,
+                         st.integers(min_value=1, max_value=300),
+                         st.integers(min_value=0, max_value=50)),
+               min_size=1, max_size=50)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops, st.integers(min_value=1, max_value=8))
+def test_capacity_never_exceeded(sequence, capacity):
+    mshr = MshrFile(capacity, StatGroup("m"))
+    now = 0
+    for line, latency, advance in sequence:
+        now += advance
+        if mshr.outstanding_fill(line, now) is None:
+            issue = mshr.allocate(line, now)
+            assert issue >= now
+            mshr.record(line, issue + latency, 0)
+        assert len(mshr) <= capacity
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops)
+def test_barrier_never_before_now(sequence):
+    mshr = MshrFile(8, StatGroup("m"))
+    now = 0
+    for line, latency, advance in sequence:
+        now += advance
+        barrier = mshr.ordering_barrier(line, now)
+        assert barrier >= now
+        if mshr.outstanding_fill(line, now) is None:
+            issue = mshr.allocate(line, max(now, barrier))
+            mshr.record(line, issue + latency, 0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops)
+def test_outstanding_entries_have_future_completions(sequence):
+    """After lazy retirement, every visible entry completes in the
+    future."""
+    mshr = MshrFile(8, StatGroup("m"))
+    now = 0
+    for line, latency, advance in sequence:
+        now += advance
+        if mshr.outstanding_fill(line, now) is None:
+            issue = mshr.allocate(line, now)
+            mshr.record(line, issue + latency, 0)
+        visible = mshr.outstanding_fill(line, now)
+        if visible is not None:
+            completion, _ = visible
+            assert completion > now or completion >= now
+        mshr.retire_completed(now)
+        for other, _, _ in sequence[:3]:
+            entry = mshr.outstanding_fill(other, now)
+            if entry is not None:
+                assert entry[0] > now

@@ -1,0 +1,102 @@
+"""Property tests for the inter-level protocol surface.
+
+The CPU-facing property tests drive ``access``; these drive the
+protocol a *lower* level sees — ``fetch_line`` and ``writeback_line``
+in random interleavings — which is how an upper cache actually talks
+to a 1P2L or 2P2L level.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.stats import StatRegistry
+from repro.common.types import AccessWidth, Orientation, make_line_id
+from repro.cache.cache_1p2l import Cache1P2L
+from repro.cache.cache_2p2l import Cache2P2L
+from tests.conftest import FakeLower, small_config
+
+line_ids = st.builds(make_line_id,
+                     st.integers(min_value=0, max_value=5),
+                     st.sampled_from(list(Orientation)),
+                     st.integers(min_value=0, max_value=7))
+
+# (is_writeback, line, dirty_mask)
+protocol_ops = st.lists(
+    st.tuples(st.booleans(), line_ids,
+              st.integers(min_value=1, max_value=255)),
+    min_size=1, max_size=50)
+
+
+@settings(max_examples=60, deadline=None)
+@given(protocol_ops)
+def test_1p2l_protocol_preserves_invariant(ops):
+    cache = Cache1P2L(small_config(size_kb=1, assoc=4, logical_dims=2),
+                      2, StatRegistry())
+    cache.connect(FakeLower())
+    now = 0
+    for is_writeback, line, mask in ops:
+        now += 100_000
+        if is_writeback:
+            cache.writeback_line(line, mask, now)
+        else:
+            cache.fetch_line(line, now, AccessWidth.VECTOR)
+        cache.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(protocol_ops)
+def test_1p2l_protocol_conserves_dirty_words(ops):
+    cache = Cache1P2L(small_config(size_kb=1, assoc=4, logical_dims=2),
+                      2, StatRegistry())
+    lower = FakeLower()
+    cache.connect(lower)
+    from repro.common.types import line_words
+    written = set()
+    now = 0
+    for is_writeback, line, mask in ops:
+        now += 100_000
+        if is_writeback:
+            cache.writeback_line(line, mask, now)
+            words = line_words(line)
+            for offset in range(8):
+                if mask & (1 << offset):
+                    written.add(words[offset])
+        else:
+            cache.fetch_line(line, now, AccessWidth.VECTOR)
+    cache.flush(now + 100_000)
+    assert written <= lower.written_words()
+
+
+@settings(max_examples=60, deadline=None)
+@given(protocol_ops, st.booleans())
+def test_2p2l_protocol_invariants(ops, sparse):
+    cache = Cache2P2L(small_config(name="L3", size_kb=1, assoc=2,
+                                   logical_dims=2, physical_dims=2,
+                                   sparse_fill=sparse),
+                      3, StatRegistry())
+    cache.connect(FakeLower())
+    now = 0
+    for is_writeback, line, mask in ops:
+        now += 100_000
+        if is_writeback:
+            cache.writeback_line(line, mask, now)
+        else:
+            cache.fetch_line(line, now, AccessWidth.VECTOR)
+        cache.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(protocol_ops)
+def test_fetch_completions_monotone_in_now(ops):
+    """A later request for the same line never completes earlier."""
+    cache = Cache1P2L(small_config(size_kb=1, assoc=4, logical_dims=2),
+                      2, StatRegistry())
+    cache.connect(FakeLower())
+    now = 0
+    last_completion = {}
+    for _, line, _ in ops:
+        now += 100_000
+        completion, _ = cache.fetch_line(line, now, AccessWidth.VECTOR)
+        assert completion > now
+        if line in last_completion:
+            assert completion >= last_completion[line] - 100_000
+        last_completion[line] = completion

@@ -1,0 +1,86 @@
+"""Property-based tests at the whole-system level."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CpuConfig, MemoryConfig
+from repro.common.stats import StatRegistry
+from repro.common.types import (
+    AccessWidth,
+    Orientation,
+    Request,
+    word_addr,
+)
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.cpu import TraceDrivenCpu
+from repro.core.system import make_system
+
+requests = st.builds(
+    Request,
+    addr=st.builds(word_addr,
+                   st.integers(min_value=0, max_value=15),
+                   st.integers(min_value=0, max_value=7),
+                   st.integers(min_value=0, max_value=7)),
+    orientation=st.sampled_from(list(Orientation)),
+    width=st.sampled_from(list(AccessWidth)),
+    is_write=st.booleans(),
+)
+
+traces = st.lists(requests, min_size=1, max_size=40)
+
+
+def run(design, trace, mlp=4):
+    system = make_system(design, cpu=CpuConfig(mlp_window=mlp))
+    stats = StatRegistry()
+    hierarchy = CacheHierarchy(system, stats)
+    cycles = TraceDrivenCpu(system.cpu, hierarchy, stats).run(
+        iter(trace))
+    return cycles, stats, hierarchy
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces)
+def test_mda_designs_accept_any_trace(trace):
+    """No request sequence crashes any 2-D design, and cycle counts
+    are positive and bounded by a generous worst case."""
+    for design in ("1P2L", "1P2L_SameSet", "1P2L_Dyn", "2P2L",
+                   "2P2L_Dense"):
+        cycles, stats, hierarchy = run(design, trace)
+        assert cycles > 0
+        # Worst case: every op a serialized memory round trip.
+        assert cycles < len(trace) * 3000 + 5000
+        for level in hierarchy.levels:
+            if hasattr(level, "check_invariants"):
+                level.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces)
+def test_hits_plus_misses_equals_accesses(trace):
+    _, stats, _ = run("1P2L", trace)
+    grp = stats.group("cache.L1")
+    assert grp.get("hits") + grp.get("misses") == \
+        grp.get("demand_accesses") == len(trace)
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces)
+def test_wider_window_never_slower(trace):
+    narrow, _, _ = run("1P2L", trace, mlp=1)
+    wide, _, _ = run("1P2L", trace, mlp=16)
+    assert wide <= narrow
+
+
+@settings(max_examples=20, deadline=None)
+@given(traces, st.floats(min_value=1.1, max_value=4.0))
+def test_faster_memory_never_slower(trace, factor):
+    system_slow = make_system("1P2L")
+    system_fast = make_system(
+        "1P2L", memory=MemoryConfig().faster(factor))
+    stats_a, stats_b = StatRegistry(), StatRegistry()
+    slow = TraceDrivenCpu(system_slow.cpu,
+                          CacheHierarchy(system_slow, stats_a),
+                          stats_a).run(iter(trace))
+    fast = TraceDrivenCpu(system_fast.cpu,
+                          CacheHierarchy(system_fast, stats_b),
+                          stats_b).run(iter(trace))
+    assert fast <= slow

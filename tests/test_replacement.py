@@ -1,0 +1,74 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoSet,
+    LruSet,
+    RandomSet,
+    make_replacement_set,
+)
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        lru = LruSet()
+        for key in "abc":
+            lru.insert(key)
+        assert lru.victim() == "a"
+        lru.touch("a")
+        assert lru.victim() == "b"
+
+    def test_remove_forgets_key(self):
+        lru = LruSet()
+        lru.insert("a")
+        lru.insert("b")
+        lru.remove("a")
+        assert lru.victim() == "b"
+        assert len(lru) == 1
+
+    def test_keys_in_recency_order(self):
+        lru = LruSet()
+        for key in "abc":
+            lru.insert(key)
+        lru.touch("a")
+        assert lru.keys() == ["b", "c", "a"]
+
+
+class TestFifo:
+    def test_touch_does_not_refresh(self):
+        fifo = FifoSet()
+        for key in "abc":
+            fifo.insert(key)
+        fifo.touch("a")
+        assert fifo.victim() == "a"
+
+
+class TestRandom:
+    def test_victim_is_member(self):
+        rnd = RandomSet(seed=7)
+        for key in "abcd":
+            rnd.insert(key)
+        for _ in range(10):
+            assert rnd.victim() in "abcd"
+
+    def test_deterministic_with_seed(self):
+        a = RandomSet(seed=3)
+        b = RandomSet(seed=3)
+        for key in "abcd":
+            a.insert(key)
+            b.insert(key)
+        assert [a.victim() for _ in range(5)] == \
+            [b.victim() for _ in range(5)]
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_replacement_set("lru"), LruSet)
+        assert isinstance(make_replacement_set("fifo"), FifoSet)
+        assert isinstance(make_replacement_set("random", seed=1),
+                          RandomSet)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_replacement_set("plru")

@@ -1,0 +1,84 @@
+"""Unit tests for machine-readable reporting."""
+
+import json
+
+import pytest
+
+from repro.core.report import (
+    comparison_to_dict,
+    run_to_dict,
+    runs_to_json,
+    system_to_dict,
+)
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+
+
+@pytest.fixture(scope="module")
+def runs():
+    base = run_simulation(make_system("1P1L"), workload="htap1",
+                          size="small")
+    mda = run_simulation(make_system("1P2L"), workload="htap1",
+                         size="small")
+    return base, mda
+
+
+class TestSystemToDict:
+    def test_level_descriptions(self):
+        d = system_to_dict(make_system("2P2L"))
+        assert [lvl["taxonomy"] for lvl in d["levels"]] == \
+            ["1P2L", "1P2L", "2P2L"]
+        assert d["levels"][2]["sparse_fill"] is True
+        assert d["memory"]["channels"] == 4
+
+    def test_prefetch_flag_surfaces(self):
+        d = system_to_dict(make_system("1P1L"))
+        assert d["levels"][2]["prefetch"] is True
+
+
+class TestRunToDict:
+    def test_core_metrics_present(self, runs):
+        base, _ = runs
+        d = run_to_dict(base)
+        for key in ("cycles", "ops", "l1_hit_rate", "memory_bytes",
+                    "energy_nj"):
+            assert key in d
+        assert d["workload"] == "htap1"
+
+    def test_counters_optional(self, runs):
+        base, _ = runs
+        assert "counters" not in run_to_dict(base)
+        with_counters = run_to_dict(base, include_counters=True)
+        assert "cache.L1.hits" in with_counters["counters"]
+
+    def test_energy_optional(self, runs):
+        base, _ = runs
+        d = run_to_dict(base, include_energy=False)
+        assert "energy_nj" not in d
+
+
+class TestJson:
+    def test_runs_to_json_parses_back(self, runs):
+        text = runs_to_json(runs)
+        payload = json.loads(text)
+        assert len(payload) == 2
+        assert payload[0]["workload"] == "htap1"
+
+    def test_json_is_sorted_and_stable(self, runs):
+        assert runs_to_json(runs) == runs_to_json(runs)
+
+
+class TestComparison:
+    def test_ratios(self, runs):
+        base, mda = runs
+        d = comparison_to_dict(base, mda)
+        assert d["cycles_ratio"] < 1.0
+        assert d["memory_bytes_ratio"] < 1.0
+        assert d["energy_ratio"] < 1.0
+
+    def test_rejects_mismatched_workloads(self, runs):
+        base, _ = runs
+        other = run_simulation(make_system("1P2L"), workload="sobel",
+                               size="small")
+        with pytest.raises(ValueError):
+            comparison_to_dict(base, other)

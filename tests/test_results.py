@@ -1,0 +1,66 @@
+"""Unit tests for result post-processing helpers."""
+
+import math
+
+import pytest
+
+from repro.core.results import (
+    format_table,
+    geomean,
+    mean,
+    normalized,
+    reduction_percent,
+    series_by_key,
+)
+
+
+class TestScalars:
+    def test_normalized(self):
+        assert normalized(50, 100) == 0.5
+        assert normalized(50, 0) == 0.0
+
+    def test_reduction_percent(self):
+        assert reduction_percent(28, 100) == pytest.approx(72.0)
+        assert reduction_percent(5, 0) == 0.0
+
+    def test_geomean(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([7]) == pytest.approx(7.0)
+
+    def test_geomean_matches_log_definition(self):
+        values = [0.5, 1.5, 2.5]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geomean(values) == pytest.approx(expected)
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        table = format_table(("name", "value"),
+                             [("a", 1.23456), ("long-name", 2)])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].index("value") == lines[2].index("1.235")
+
+    def test_precision(self):
+        table = format_table(("x",), [(1.23456,)], precision=1)
+        assert "1.2" in table
+        assert "1.23" not in table
+
+    def test_non_float_cells_passed_through(self):
+        table = format_table(("a", "b"), [("text", 42)])
+        assert "text" in table
+        assert "42" in table
+
+
+class TestSeriesByKey:
+    def test_grouping(self):
+        rows = [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+        assert series_by_key(rows) == {"a": [1.0, 3.0], "b": [2.0]}
+
+    def test_empty(self):
+        assert series_by_key([]) == {}

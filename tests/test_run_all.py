@@ -1,0 +1,36 @@
+"""Integration test for the run-everything driver (light subset)."""
+
+import json
+import os
+
+from repro.experiments.run_all import run_all
+
+
+class TestRunAll:
+    def test_selected_experiments_produce_artifacts(self, tmp_path):
+        outdir = str(tmp_path / "results")
+        summary = run_all(outdir, only=("table1", "fig10"),
+                          verbose=False)
+        assert set(summary) == {"table1", "fig10"}
+        assert os.path.exists(os.path.join(outdir, "table1.txt"))
+        assert os.path.exists(os.path.join(outdir, "fig10.txt"))
+        with open(os.path.join(outdir, "summary.json")) as handle:
+            loaded = json.load(handle)
+        assert loaded["fig10"]["avg_column_fraction_large"] > 0
+        assert "seconds" in loaded["table1"]
+
+    def test_reports_are_nonempty_text(self, tmp_path):
+        outdir = str(tmp_path / "results")
+        run_all(outdir, only=("table1",), verbose=False)
+        with open(os.path.join(outdir, "table1.txt")) as handle:
+            assert "L1 D-cache" in handle.read()
+
+    def test_every_experiment_is_registered(self):
+        from repro.experiments.run_all import _experiments
+        from repro.experiments.runner import ExperimentRunner
+        names = set(_experiments(ExperimentRunner()))
+        expected = {"table1", "fig10", "fig11", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "fig17",
+                    "layout_mismatch", "future_tiling", "energy",
+                    "dynamic_orientation", "multiprogram"}
+        assert names == expected

@@ -1,0 +1,53 @@
+"""Unit tests for the experiment runner's configuration space."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentRunner,
+    FAST_MEMORY_FACTOR,
+    RunKey,
+)
+
+
+class TestRunKey:
+    def test_hashable_and_equal_by_value(self):
+        a = RunKey("1P2L", "sobel", "small", 1.0, False, "default", 0)
+        b = RunKey("1P2L", "sobel", "small", 1.0, False, "default", 0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_fields_distinguish(self):
+        base = RunKey("1P2L", "sobel", "small", 1.0, False, "default", 0)
+        assert base != RunKey("1P2L", "sobel", "small", 1.0, True,
+                              "default", 0)
+        assert base != RunKey("1P2L", "sobel", "small", 1.0, False,
+                              "fast", 0)
+
+
+class TestRunnerBehavior:
+    def test_fast_memory_variant_speeds_up(self):
+        runner = ExperimentRunner()
+        slow = runner.run("1P1L", "sobel", "small", memory="default")
+        fast = runner.run("1P1L", "sobel", "small", memory="fast")
+        assert fast.cycles < slow.cycles
+        assert runner.runs_completed == 2
+
+    def test_fast_factor_matches_paper(self):
+        assert FAST_MEMORY_FACTOR == pytest.approx(1.6)
+
+    def test_resident_flag_builds_two_level_system(self):
+        runner = ExperimentRunner()
+        result = runner.run("1P2L", "sobel", "small", resident=True)
+        assert len(result.system.levels) == 2
+
+    def test_sample_every_collects_occupancy(self):
+        runner = ExperimentRunner()
+        result = runner.run("1P2L", "sobel", "small", sample_every=500)
+        assert result.samples
+
+    def test_sampling_key_does_not_collide_with_plain(self):
+        runner = ExperimentRunner()
+        plain = runner.run("1P2L", "sobel", "small")
+        sampled = runner.run("1P2L", "sobel", "small", sample_every=500)
+        assert plain is not sampled
+        assert plain.cycles == sampled.cycles  # sampling is free

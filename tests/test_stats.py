@@ -1,0 +1,63 @@
+"""Unit tests for the statistics registry."""
+
+from repro.common.stats import StatGroup, StatRegistry
+
+
+class TestStatGroup:
+    def test_add_and_get(self):
+        grp = StatGroup("g")
+        grp.add("hits")
+        grp.add("hits", 4)
+        assert grp.get("hits") == 5
+        assert grp.get("misses") == 0
+
+    def test_ratio_with_zero_denominator(self):
+        grp = StatGroup("g")
+        grp.add("hits", 3)
+        assert grp.ratio("hits", "accesses") == 0.0
+        grp.add("accesses", 6)
+        assert grp.ratio("hits", "accesses") == 0.5
+
+    def test_series_samples_preserve_order(self):
+        grp = StatGroup("g")
+        grp.sample("occ", 10, 0.5)
+        grp.sample("occ", 20, 0.7)
+        samples = grp.series("occ")
+        assert [(s.time, s.value) for s in samples] == [(10, 0.5),
+                                                        (20, 0.7)]
+        assert grp.series_keys() == ["occ"]
+
+    def test_reset_clears_everything(self):
+        grp = StatGroup("g")
+        grp.add("x")
+        grp.sample("s", 1, 1.0)
+        grp.reset()
+        assert grp.get("x") == 0
+        assert grp.series("s") == []
+
+
+class TestStatRegistry:
+    def test_group_is_memoized(self):
+        reg = StatRegistry()
+        assert reg.group("a") is reg.group("a")
+        assert "a" in reg
+
+    def test_flat_namespaces_keys(self):
+        reg = StatRegistry()
+        reg.group("cache.L1").add("hits", 2)
+        reg.group("memory").add("reads", 3)
+        flat = reg.flat()
+        assert flat == {"cache.L1.hits": 2, "memory.reads": 3}
+
+    def test_report_renders_counters(self):
+        reg = StatRegistry()
+        reg.group("cache.L1").add("hits", 2)
+        text = reg.report()
+        assert "[cache.L1]" in text
+        assert "hits" in text
+
+    def test_items_sorted_by_name(self):
+        reg = StatRegistry()
+        reg.group("b")
+        reg.group("a")
+        assert [name for name, _ in reg.items()] == ["a", "b"]

@@ -1,0 +1,88 @@
+"""Unit tests for the design-point system builders."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.system import (
+    DESIGN_NAMES,
+    LLC_SIZES,
+    llc_bytes,
+    make_resident_system,
+    make_system,
+)
+
+
+class TestMakeSystem:
+    def test_baseline_is_1p1l_with_prefetch(self):
+        system = make_system("1P1L")
+        assert [lvl.taxonomy for lvl in system.levels] == \
+            ["1P1L", "1P1L", "1P1L"]
+        # Prefetcher sits at the LLC, trained on the miss stream.
+        assert system.llc.prefetcher.enabled
+        assert not system.levels[0].prefetcher.enabled
+
+    def test_design1_is_uniform_1p2l(self):
+        system = make_system("1P2L")
+        assert [lvl.taxonomy for lvl in system.levels] == \
+            ["1P2L", "1P2L", "1P2L"]
+        assert all(lvl.mapping == "different_set"
+                   for lvl in system.levels)
+        assert not system.levels[0].prefetcher.enabled
+
+    def test_same_set_variant(self):
+        system = make_system("1P2L_SameSet")
+        assert all(lvl.mapping == "same_set" for lvl in system.levels)
+
+    def test_design2_llc_is_sparse_2p2l(self):
+        system = make_system("2P2L")
+        assert system.llc.taxonomy == "2P2L"
+        assert system.llc.sparse_fill
+        assert system.levels[0].taxonomy == "1P2L"
+
+    def test_dense_variant(self):
+        assert not make_system("2P2L_Dense").llc.sparse_fill
+
+    def test_slow_write_variant(self):
+        assert make_system("2P2L_SlowWrite").llc.write_extra_latency == 20
+
+    def test_design3_extension_all_2p2l(self):
+        system = make_system("2P2L_L1")
+        assert [lvl.taxonomy for lvl in system.levels] == \
+            ["2P2L", "2P2L", "2P2L"]
+
+    def test_llc_capacity_points(self):
+        for mb, size in LLC_SIZES.items():
+            assert make_system("1P2L", mb).llc.size_bytes == size
+        assert llc_bytes(1.5) == 24 * 1024
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(ConfigError):
+            make_system("4P4L")
+
+    def test_unknown_llc_point_raises(self):
+        with pytest.raises(ConfigError):
+            make_system("1P2L", llc_mb=3.0)
+
+    def test_all_declared_designs_build(self):
+        for name in DESIGN_NAMES:
+            make_system(name)
+
+
+class TestResidentSystem:
+    def test_two_levels_only(self):
+        system = make_resident_system("1P2L")
+        assert len(system.levels) == 2
+        assert system.llc.name == "L2"
+        assert system.llc.size_bytes == 32 * 1024
+
+    def test_baseline_resident_keeps_prefetch(self):
+        system = make_resident_system("1P1L")
+        assert system.llc.prefetcher.enabled
+
+    def test_2p2l_resident(self):
+        system = make_resident_system("2P2L")
+        assert system.llc.taxonomy == "2P2L"
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(ConfigError):
+            make_resident_system("2P2L_L1")

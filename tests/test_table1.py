@@ -1,0 +1,36 @@
+"""Unit tests for the Table I experiment module."""
+
+from repro.experiments.table1 import Table1Result, run_table1
+
+
+class TestTable1:
+    def test_rows_cover_every_setup_dimension(self):
+        result = run_table1()
+        params = [row[0] for row in result.rows]
+        for expected in ("CPU", "L1 D-cache", "L2", "L3 (LLC)",
+                         "Main memory", "Memory controller",
+                         "Array timings", "Inputs"):
+            assert any(expected in param for param in params), expected
+
+    def test_paper_column_quotes_table1(self):
+        result = run_table1()
+        paper_values = " ".join(row[1] for row in result.rows)
+        assert "32KB" in paper_values
+        assert "FRFCFS-WQF" in paper_values
+        assert "gem5" in paper_values
+
+    def test_repo_column_reflects_live_config(self):
+        from repro.core.system import L1_BYTES, L2_BYTES
+        result = run_table1()
+        repo_values = " ".join(row[2] for row in result.rows)
+        assert f"{L1_BYTES // 1024}KB" in repo_values
+        assert f"{L2_BYTES // 1024}KB" in repo_values
+
+    def test_report_renders_all_rows(self):
+        result = run_table1()
+        report = result.report()
+        assert len(report.splitlines()) == len(result.rows) + 2
+
+    def test_result_is_plain_data(self):
+        rows = [("a", "b", "c")]
+        assert Table1Result(rows).report().count("a") >= 1

@@ -1,0 +1,96 @@
+"""Unit tests for trace file I/O."""
+
+import io
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.common.types import AccessWidth, Orientation, Request
+from repro.core.simulator import run_simulation, run_trace
+from repro.core.system import make_system
+from repro.sw.tracefile import (
+    HEADER,
+    format_request,
+    parse_request,
+    read_trace,
+    write_trace,
+)
+from repro.sw.tracegen import generate_trace
+from repro.workloads.registry import build_workload
+
+
+def sample_requests():
+    return [
+        Request(0x1a40, Orientation.ROW, AccessWidth.SCALAR, False, 3),
+        Request(0x2000, Orientation.COLUMN, AccessWidth.VECTOR, True, 7),
+    ]
+
+
+class TestFormat:
+    def test_roundtrip_single(self):
+        for req in sample_requests():
+            assert parse_request(format_request(req)) == req
+
+    def test_line_layout(self):
+        line = format_request(sample_requests()[1])
+        assert line == "W c v 0x2000 7"
+
+    def test_parse_rejects_wrong_field_count(self):
+        with pytest.raises(ProgramError):
+            parse_request("R r s 0x0")
+
+    def test_parse_rejects_bad_op(self):
+        with pytest.raises(ProgramError):
+            parse_request("X r s 0x0 0")
+
+    def test_parse_rejects_unaligned_address(self):
+        with pytest.raises(ProgramError):
+            parse_request("R r s 0x3 0")
+
+    def test_parse_rejects_bad_numbers(self):
+        with pytest.raises(ProgramError):
+            parse_request("R r s 0xzz 0")
+        with pytest.raises(ProgramError):
+            parse_request("R r s 0x0 -1")
+
+
+class TestStreamIO:
+    def test_write_read_roundtrip_in_memory(self):
+        buf = io.StringIO()
+        count = write_trace(sample_requests(), buf)
+        assert count == 2
+        buf.seek(0)
+        assert list(read_trace(buf)) == sample_requests()
+
+    def test_header_checked(self):
+        buf = io.StringIO("not a trace\nR r s 0x0 0\n")
+        with pytest.raises(ProgramError):
+            list(read_trace(buf))
+
+    def test_comments_and_blanks_skipped(self):
+        buf = io.StringIO(f"{HEADER}\n\n# comment\nR r s 0x0 0\n")
+        assert len(list(read_trace(buf))) == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trc")
+        write_trace(sample_requests(), path)
+        assert list(read_trace(path)) == sample_requests()
+
+
+class TestReplayFidelity:
+    def test_replayed_trace_matches_direct_run(self, tmp_path):
+        """A saved+reloaded trace reproduces the exact simulation."""
+        program = build_workload("htap1", "small")
+        direct = run_simulation(make_system("1P2L"), program=program)
+        path = str(tmp_path / "htap1.trc")
+        write_trace(generate_trace(program, 2), path)
+        replayed = run_trace(make_system("1P2L"), read_trace(path))
+        assert replayed.cycles == direct.cycles
+        assert replayed.ops == direct.ops
+        assert replayed.memory_bytes() == direct.memory_bytes()
+
+    def test_run_trace_names_result(self):
+        result = run_trace(make_system("1P2L"),
+                           iter(sample_requests()), name="custom")
+        assert result.workload == "custom"
+        assert result.ops == 2

@@ -1,0 +1,176 @@
+"""Unit tests for the address/line geometry in repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    AccessWidth,
+    LINE_BYTES,
+    LINES_PER_TILE,
+    Orientation,
+    Request,
+    TILE_BYTES,
+    WORDS_PER_LINE,
+    WORDS_PER_TILE,
+    intersecting_line,
+    iter_line_addrs,
+    line_base_addr,
+    line_id_of,
+    line_id_parts,
+    line_orientation,
+    line_word_offset,
+    line_words,
+    lines_overlap,
+    make_line_id,
+    perpendicular_lines,
+    tile_base,
+    tile_coords,
+    tile_id,
+    word_addr,
+)
+
+
+class TestGeometryConstants:
+    def test_derived_sizes(self):
+        assert LINE_BYTES == 64
+        assert TILE_BYTES == 512
+        assert WORDS_PER_TILE == 64
+
+    def test_tile_base_and_id(self):
+        assert tile_base(0) == 0
+        assert tile_base(511) == 0
+        assert tile_base(512) == 512
+        assert tile_id(1024) == 2
+
+    def test_tile_coords_roundtrip(self):
+        for r in range(8):
+            for c in range(8):
+                addr = word_addr(5, r, c)
+                assert tile_coords(addr) == (r, c)
+                assert tile_id(addr) == 5
+
+
+class TestLineIds:
+    def test_row_line_id_contains_all_row_words(self):
+        addr = word_addr(3, 2, 5)
+        line = line_id_of(addr, Orientation.ROW)
+        tile, orientation, index = line_id_parts(line)
+        assert (tile, orientation, index) == (3, Orientation.ROW, 2)
+
+    def test_col_line_id_contains_all_col_words(self):
+        addr = word_addr(3, 2, 5)
+        line = line_id_of(addr, Orientation.COLUMN)
+        tile, orientation, index = line_id_parts(line)
+        assert (tile, orientation, index) == (3, Orientation.COLUMN, 5)
+
+    def test_make_and_parts_roundtrip(self):
+        for orientation in Orientation:
+            for index in range(8):
+                line = make_line_id(77, orientation, index)
+                assert line_id_parts(line) == (77, orientation, index)
+                assert line_orientation(line) is orientation
+
+    def test_row_and_col_ids_distinct(self):
+        addr = word_addr(0, 3, 3)
+        row = line_id_of(addr, Orientation.ROW)
+        col = line_id_of(addr, Orientation.COLUMN)
+        assert row != col
+
+    def test_row_line_base_addr_is_contiguous_start(self):
+        line = make_line_id(2, Orientation.ROW, 4)
+        assert line_base_addr(line) == 2 * TILE_BYTES + 4 * LINE_BYTES
+
+    def test_col_line_base_addr(self):
+        line = make_line_id(2, Orientation.COLUMN, 4)
+        assert line_base_addr(line) == 2 * TILE_BYTES + 4 * 8
+
+
+class TestLineWords:
+    def test_row_line_words_contiguous(self):
+        line = make_line_id(0, Orientation.ROW, 1)
+        words = line_words(line)
+        assert words == tuple(range(8, 16))
+
+    def test_col_line_words_strided(self):
+        line = make_line_id(0, Orientation.COLUMN, 1)
+        words = line_words(line)
+        assert words == tuple(1 + 8 * k for k in range(8))
+
+    def test_line_word_offset_inverts_line_words(self):
+        for orientation in Orientation:
+            line = make_line_id(9, orientation, 6)
+            for offset, word in enumerate(line_words(line)):
+                assert line_word_offset(line, word) == offset
+
+    def test_line_word_offset_rejects_foreign_word(self):
+        row = make_line_id(0, Orientation.ROW, 0)
+        with pytest.raises(ValueError):
+            line_word_offset(row, 8)  # word of row 1
+        with pytest.raises(ValueError):
+            line_word_offset(row, WORDS_PER_TILE)  # next tile
+
+    def test_iter_line_addrs_matches_words(self):
+        line = make_line_id(4, Orientation.COLUMN, 2)
+        addrs = list(iter_line_addrs(line))
+        assert [a >> 3 for a in addrs] == list(line_words(line))
+
+
+class TestIntersections:
+    def test_intersecting_line_is_perpendicular(self):
+        row = make_line_id(1, Orientation.ROW, 3)
+        word = line_words(row)[5]
+        col = intersecting_line(row, word)
+        assert line_id_parts(col) == (1, Orientation.COLUMN, 5)
+        # And back again.
+        assert intersecting_line(col, word) == row
+
+    def test_row_and_col_share_exactly_one_word(self):
+        row = make_line_id(0, Orientation.ROW, 2)
+        col = make_line_id(0, Orientation.COLUMN, 6)
+        shared = set(line_words(row)) & set(line_words(col))
+        assert len(shared) == 1
+        word = shared.pop()
+        assert tile_coords(word * 8) == (2, 6)
+
+    def test_perpendicular_lines_count_and_orientation(self):
+        row = make_line_id(7, Orientation.ROW, 0)
+        perps = perpendicular_lines(row)
+        assert len(perps) == LINES_PER_TILE
+        assert all(line_orientation(p) is Orientation.COLUMN
+                   for p in perps)
+
+    def test_lines_overlap_rules(self):
+        row = make_line_id(0, Orientation.ROW, 0)
+        same_tile_col = make_line_id(0, Orientation.COLUMN, 5)
+        other_tile_col = make_line_id(1, Orientation.COLUMN, 5)
+        other_row = make_line_id(0, Orientation.ROW, 1)
+        assert lines_overlap(row, row)
+        assert lines_overlap(row, same_tile_col)
+        assert not lines_overlap(row, other_tile_col)
+        assert not lines_overlap(row, other_row)
+
+
+class TestRequest:
+    def test_scalar_request_words(self):
+        addr = word_addr(0, 1, 2)
+        req = Request(addr, Orientation.ROW, AccessWidth.SCALAR,
+                      is_write=False)
+        assert req.words() == (addr >> 3,)
+
+    def test_vector_request_words_cover_line(self):
+        addr = word_addr(0, 1, 0)
+        req = Request(addr, Orientation.ROW, AccessWidth.VECTOR,
+                      is_write=False)
+        assert req.words() == line_words(req.line_id)
+        assert len(req.words()) == WORDS_PER_LINE
+
+    def test_request_line_id_matches_orientation(self):
+        addr = word_addr(2, 3, 4)
+        row_req = Request(addr, Orientation.ROW, AccessWidth.SCALAR, False)
+        col_req = Request(addr, Orientation.COLUMN, AccessWidth.SCALAR,
+                          False)
+        assert line_id_parts(row_req.line_id)[2] == 3
+        assert line_id_parts(col_req.line_id)[2] == 4
+
+    def test_orientation_other(self):
+        assert Orientation.ROW.other is Orientation.COLUMN
+        assert Orientation.COLUMN.other is Orientation.ROW

@@ -1,0 +1,97 @@
+"""Unit tests for the row+column vectorizer."""
+
+from repro.common.types import Orientation
+from repro.sw.program import Affine, ArrayDecl, ArrayRef, Loop, LoopNest, Program
+from repro.sw.vectorizer import VecClass, compile_program
+from repro.workloads.blas import build_sgemm
+
+
+def simple_program(ref_builder):
+    a = ArrayDecl("A", 16, 16)
+    ref = ref_builder(a)
+    nest = LoopNest("n", [Loop.over("i", 16), Loop.over("j", 16)], [ref])
+    return Program("p", [a], [nest])
+
+
+class TestClassification:
+    def test_unit_stride_row_ref_is_vector(self):
+        prog = simple_program(
+            lambda a: ArrayRef(a, Affine.of("i"), Affine.of("j")))
+        compiled = compile_program(prog, 2)
+        assert compiled.nests[0].refs[0].vec_class is VecClass.VECTOR
+        assert compiled.nests[0].vectorized
+
+    def test_unit_stride_column_ref_is_vector_in_2d(self):
+        prog = simple_program(
+            lambda a: ArrayRef(a, Affine.of("j"), Affine.of("i")))
+        compiled = compile_program(prog, 2)
+        cref = compiled.nests[0].refs[0]
+        assert cref.vec_class is VecClass.VECTOR
+        assert cref.direction.orientation is Orientation.COLUMN
+
+    def test_column_ref_not_vectorized_in_1d(self):
+        """State-of-the-art compilers do not vectorize column walks
+        (paper Section V)."""
+        prog = simple_program(
+            lambda a: ArrayRef(a, Affine.of("j"), Affine.of("i")))
+        compiled = compile_program(prog, 1)
+        cref = compiled.nests[0].refs[0]
+        assert cref.vec_class is VecClass.SCALAR_SERIAL
+        assert cref.direction.orientation is Orientation.ROW
+
+    def test_invariant_ref_is_hoisted(self):
+        prog = simple_program(
+            lambda a: ArrayRef(a, Affine.of("i"), Affine.constant(0)))
+        compiled = compile_program(prog, 2)
+        assert compiled.nests[0].refs[0].vec_class is \
+            VecClass.SCALAR_HOISTED
+
+    def test_strided_ref_stays_serial(self):
+        prog = simple_program(
+            lambda a: ArrayRef(a, Affine.of("i"),
+                               Affine.of("j", coeff=2)))
+        compiled = compile_program(prog, 2)
+        assert compiled.nests[0].refs[0].vec_class is \
+            VecClass.SCALAR_SERIAL
+
+    def test_nest_without_vector_refs_not_vectorized(self):
+        prog = simple_program(
+            lambda a: ArrayRef(a, Affine.of("i"),
+                               Affine.of("j", coeff=2)))
+        compiled = compile_program(prog, 2)
+        assert not compiled.nests[0].vectorized
+
+
+class TestDepthHandling:
+    def test_shallow_ref_stays_scalar(self):
+        a = ArrayDecl("A", 16, 16)
+        nest = LoopNest(
+            "n", [Loop.over("i", 16), Loop.over("j", 16)],
+            [ArrayRef(a, Affine.constant(0), Affine.of("i"), depth=1),
+             ArrayRef(a, Affine.of("i"), Affine.of("j"))])
+        prog = Program("p", [a], [nest])
+        compiled = compile_program(prog, 2)
+        shallow, deep = compiled.nests[0].refs
+        assert shallow.vec_class is not VecClass.VECTOR
+        assert deep.vec_class is VecClass.VECTOR
+
+    def test_ref_ids_unique_across_nests(self):
+        compiled = compile_program(build_sgemm(16), 2)
+        ids = [cref.ref_id for cref in compiled.all_refs()]
+        assert len(ids) == len(set(ids))
+
+
+class TestSgemmCompilation:
+    def test_sgemm_2d_has_row_and_column_vectors(self):
+        compiled = compile_program(build_sgemm(16), 2)
+        inner = compiled.nests[0].innermost_refs()
+        orientations = {cref.direction.orientation for cref in inner
+                        if cref.vec_class is VecClass.VECTOR}
+        assert orientations == {Orientation.ROW, Orientation.COLUMN}
+
+    def test_sgemm_1d_serializes_matc(self):
+        compiled = compile_program(build_sgemm(16), 1)
+        inner = compiled.nests[0].innermost_refs()
+        classes = [cref.vec_class for cref in inner]
+        assert VecClass.VECTOR in classes
+        assert VecClass.SCALAR_SERIAL in classes
