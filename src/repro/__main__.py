@@ -56,12 +56,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
     if args.name not in _EXPERIMENTS:
         print(f"unknown experiment {args.name!r}; known: "
               f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
         return 2
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    module.main()
+    forwarded: List[str] = ["--outdir", args.outdir]
+    if args.jobs != 1:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.refresh:
+        forwarded.append("--refresh")
+    if inspect.signature(module.main).parameters:
+        module.main(forwarded)
+    else:
+        # Experiments without a precomputable run plan take no flags.
+        module.main()
     return 0
 
 
@@ -121,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
     exp_p.add_argument("name")
+    exp_p.add_argument("--jobs", "-j", type=int, default=1,
+                       metavar="N",
+                       help="simulate up to N points in parallel")
+    exp_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent run cache")
+    exp_p.add_argument("--refresh", action="store_true",
+                       help="re-simulate and overwrite cached points")
+    exp_p.add_argument("--outdir", default="results",
+                       help="results directory holding .runcache "
+                            "(default: results)")
     exp_p.set_defaults(func=_cmd_experiment)
 
     sweep_p = sub.add_parser("sweep",

@@ -26,11 +26,10 @@ import abc
 from typing import Dict, List, Optional, Tuple
 
 from ..common.config import CacheLevelConfig
-from ..common.stats import StatGroup, StatRegistry
+from ..common.stats import Counter, StatGroup, StatRegistry
 from ..common.types import (
     AccessResult,
     AccessWidth,
-    Orientation,
     Request,
     WORDS_PER_LINE,
 )
@@ -49,18 +48,20 @@ class MemoryPort:
     def __init__(self, memory: MdaMemory, stats: StatRegistry) -> None:
         self._memory = memory
         self._stats = stats.group("memory.port")
+        self._c_fetches = self._stats.counter("fetches")
+        self._c_writebacks = self._stats.counter("writebacks")
+        self._c_dirty_words = self._stats.counter("dirty_words_written")
 
     def fetch_line(self, line_id: int, now: int,
                    width: AccessWidth) -> Tuple[int, int]:
         completion = self._memory.read_line(line_id, now)
-        self._stats.add("fetches")
+        self._c_fetches.value += 1
         return completion, 0
 
     def writeback_line(self, line_id: int, dirty_mask: int,
                        now: int) -> int:
-        self._stats.add("writebacks")
-        dirty_words = bin(dirty_mask & FULL_MASK).count("1")
-        self._stats.add("dirty_words_written", dirty_words)
+        self._c_writebacks.value += 1
+        self._c_dirty_words.value += (dirty_mask & FULL_MASK).bit_count()
         return self._memory.write_line(line_id, now)
 
 
@@ -91,6 +92,22 @@ class CacheLevel(abc.ABC):
         # the data lands must wait for it (this keeps prefetch timing
         # honest and charges coalesced hits their residual latency).
         self._ready_at: Dict[int, int] = {}
+        # Pre-bound counter cells for the per-request paths.
+        self._c_tag_probes = self._stats.counter("tag_probes")
+        self._c_mshr_coalesced = self._stats.counter("mshr_coalesced")
+        self._c_fills = self._stats.counter("fills")
+        self._c_early_hit_waits = self._stats.counter("early_hit_waits")
+        demand_all = self._stats.counter("demand_accesses")
+        demand_reads = self._stats.counter("demand_reads")
+        demand_writes = self._stats.counter("demand_writes")
+        # Indexed by (orientation << 2) | (width << 1) | is_write; each
+        # entry is the tuple of cells one demand access bumps.
+        self._demand_cells: List[Tuple[Counter, Counter, Counter]] = []
+        for orient in ("row", "col"):
+            for width in ("scalar", "vector"):
+                mix = self._stats.counter(f"demand_{orient}_{width}")
+                self._demand_cells.append((demand_all, mix, demand_reads))
+                self._demand_cells.append((demand_all, mix, demand_writes))
 
     # -- wiring --------------------------------------------------------------
 
@@ -169,7 +186,7 @@ class CacheLevel(abc.ABC):
         outstanding = self._mshr.outstanding_fill(line_id, now)
         if outstanding is not None:
             completion, level = outstanding
-            self._stats.add("mshr_coalesced")
+            self._c_mshr_coalesced.value += 1
             return max(completion, now), level
         if self._needs_ordering:
             issue = self._mshr.ordering_barrier(line_id, now)
@@ -178,12 +195,12 @@ class CacheLevel(abc.ABC):
         issue = self._mshr.allocate(line_id, issue)
         completion, level = self._lower.fetch_line(line_id, issue, width)
         self._mshr.record(line_id, completion, level)
-        self._stats.add("fills")
+        self._c_fills.value += 1
         return completion, level
 
     def _probe(self, count: int = 1) -> None:
         """Account tag-array probes (latency is charged separately)."""
-        self._stats.add("tag_probes", count)
+        self._c_tag_probes.value += count
 
     def _note_ready(self, line_id: int, completion: int,
                     now: int) -> None:
@@ -199,16 +216,11 @@ class CacheLevel(abc.ABC):
         if ready <= now:
             del self._ready_at[line_id]
             return now
-        self._stats.add("early_hit_waits")
+        self._c_early_hit_waits.value += 1
         return ready
 
     def _count_demand(self, req: Request) -> None:
         """Bump the demand-access counters used by Figs. 10/11."""
-        self._stats.add("demand_accesses")
-        key = "row" if req.orientation is Orientation.ROW else "col"
-        width = "vector" if req.width is AccessWidth.VECTOR else "scalar"
-        self._stats.add(f"demand_{key}_{width}")
-        if req.is_write:
-            self._stats.add("demand_writes")
-        else:
-            self._stats.add("demand_reads")
+        index = (req.orientation << 2) | (req.width << 1) | req.is_write
+        for cell in self._demand_cells[index]:
+            cell.value += 1

@@ -47,6 +47,8 @@ class Cache1P1L(CacheLevel):
         self._prefetcher = StridePrefetcher(
             config.prefetcher,
             stats.group(f"cache.{config.name}.prefetch"))
+        self._c_hits = self._stats.counter("hits")
+        self._c_misses = self._stats.counter("misses")
 
     # -- CPU-facing -----------------------------------------------------------
 
@@ -60,9 +62,9 @@ class Cache1P1L(CacheLevel):
         dirty_mask = self._write_mask(req) if req.is_write else 0
         completion, level = self._get_line(line, now, req.width, dirty_mask)
         if level == self._level:
-            self._stats.add("hits")
+            self._c_hits.value += 1
         else:
-            self._stats.add("misses")
+            self._c_misses.value += 1
         self._run_prefetcher(req, now)
         return AccessResult(latency=completion - now, hit_level=level)
 

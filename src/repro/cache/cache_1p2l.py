@@ -26,7 +26,7 @@ Key mechanisms (paper Section IV-C, Design 1):
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..common.config import CacheLevelConfig
 from ..common.errors import SimulationError
@@ -62,7 +62,9 @@ class Cache1P2L(CacheLevel):
         super().__init__(config, level_index, stats, replacement)
         self._frames: Dict[int, int] = {}  # line_id -> dirty mask
         self._same_set = config.mapping == "same_set"
-        self._predictor = None
+        self._c_hits = self._stats.counter("hits")
+        self._c_misses = self._stats.counter("misses")
+        self._predictor: Optional[OrientationPredictor] = None
         if config.dynamic_orientation:
             self._predictor = OrientationPredictor(
                 stats.group(f"cache.{config.name}.orientation"))
@@ -88,15 +90,16 @@ class Cache1P2L(CacheLevel):
             else:
                 completion, level = self._vector_read(req, now)
         if level == self._level:
-            self._stats.add("hits")
+            self._c_hits.value += 1
         else:
-            self._stats.add("misses")
+            self._c_misses.value += 1
         return AccessResult(latency=completion - now, hit_level=level)
 
     # -- scalar paths -------------------------------------------------------------
 
     def _scalar_read(self, req: Request, now: int,
-                     orientation: Orientation = None) -> Tuple[int, int]:
+                     orientation: Optional[Orientation] = None) \
+            -> Tuple[int, int]:
         if orientation is None:
             orientation = req.orientation
         preferred = line_id_of(req.addr, orientation)
@@ -120,7 +123,8 @@ class Cache1P2L(CacheLevel):
         return completion + self._cfg.data_latency, level
 
     def _scalar_write(self, req: Request, now: int,
-                      orientation: Orientation = None) -> Tuple[int, int]:
+                      orientation: Optional[Orientation] = None) \
+            -> Tuple[int, int]:
         if orientation is None:
             orientation = req.orientation
         preferred = line_id_of(req.addr, orientation)

@@ -2,8 +2,10 @@
 
 Every component owns a :class:`StatGroup`; groups nest into a
 :class:`StatRegistry` that the simulator exposes on its results object.
-Counters are plain ints (cheap to bump on hot paths); time series support
-the occupancy-over-time plots (paper Fig. 15).
+Counters are :class:`Counter` cells; hot paths pre-bind a cell once via
+:meth:`StatGroup.counter` and bump it without any per-event dict lookup
+or key hashing.  Time series support the occupancy-over-time plots
+(paper Fig. 15).
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class Sample:
     """One point of a sampled time series."""
 
@@ -20,36 +22,71 @@ class Sample:
     value: float
 
 
+class Counter:
+    """A single mutable counter cell.
+
+    Components on hot paths hold a bound ``Counter`` and call
+    :meth:`add` (or bump :attr:`value` directly), instead of paying a
+    group lookup plus dict hashing for every event.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
 class StatGroup:
     """A flat bag of named counters and series for one component."""
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._counters: Dict[str, int] = {}
+        self._counters: Dict[str, Counter] = {}
         self._series: Dict[str, List[Sample]] = {}
 
     # -- counters ----------------------------------------------------------
 
+    def counter(self, key: str) -> Counter:
+        """The (created-on-demand) counter cell for ``key``.
+
+        The returned handle stays valid for the group's lifetime,
+        including across :meth:`reset` (which zeroes cells in place).
+        """
+        cell = self._counters.get(key)
+        if cell is None:
+            cell = self._counters[key] = Counter()
+        return cell
+
     def add(self, key: str, amount: int = 1) -> None:
         """Increment counter ``key`` by ``amount``."""
-        self._counters[key] = self._counters.get(key, 0) + amount
+        cell = self._counters.get(key)
+        if cell is None:
+            cell = self._counters[key] = Counter()
+        cell.value += amount
 
     def get(self, key: str, default: int = 0) -> int:
-        return self._counters.get(key, default)
+        cell = self._counters.get(key)
+        return default if cell is None else cell.value
 
     def set(self, key: str, value: int) -> None:
-        self._counters[key] = value
+        self.counter(key).value = value
 
     def counters(self) -> Dict[str, int]:
         """A copy of all counters."""
-        return dict(self._counters)
+        return {key: cell.value for key, cell in self._counters.items()}
 
     def ratio(self, numerator: str, denominator: str) -> float:
         """``numerator / denominator`` with a 0.0 fallback."""
-        denom = self._counters.get(denominator, 0)
+        denom = self.get(denominator)
         if denom == 0:
             return 0.0
-        return self._counters.get(numerator, 0) / denom
+        return self.get(numerator) / denom
 
     # -- time series -------------------------------------------------------
 
@@ -66,7 +103,9 @@ class StatGroup:
     # -- misc ---------------------------------------------------------------
 
     def reset(self) -> None:
-        self._counters.clear()
+        # Zero cells in place so pre-bound handles stay live.
+        for cell in self._counters.values():
+            cell.value = 0
         self._series.clear()
 
     def __repr__(self) -> str:

@@ -70,7 +70,7 @@ class AccessWidth(enum.IntEnum):
     VECTOR = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """A single memory request as seen by the cache hierarchy.
 
@@ -251,7 +251,7 @@ def iter_line_addrs(line_id: int) -> Iterator[int]:
         yield word << _WORD_SHIFT
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one request against the cache hierarchy.
 

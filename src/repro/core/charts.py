@@ -6,13 +6,13 @@ convey shape at a glance without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 _SPARK_LEVELS = " .:-=+*#%@"
 
 
 def bar_chart(rows: Iterable[Tuple[str, float]], width: int = 40,
-              max_value: float = None, unit: str = "") -> str:
+              max_value: Optional[float] = None, unit: str = "") -> str:
     """Horizontal bar chart: one ``label  ███··· value`` line per row.
 
     Args:
@@ -40,8 +40,8 @@ def bar_chart(rows: Iterable[Tuple[str, float]], width: int = 40,
     return "\n".join(lines)
 
 
-def sparkline(values: Sequence[float], lo: float = None,
-              hi: float = None) -> str:
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
     """One-line sparkline over ``values`` using ASCII density ramp."""
     if not values:
         return ""

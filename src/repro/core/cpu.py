@@ -58,20 +58,25 @@ class TraceDrivenCpu:
         # outstanding window.
         pipelined = l1_cfg.hit_latency + 3 * l1_cfg.tag_latency
         stalled = 0
+        # Hot loop: pre-bind everything touched per request so each
+        # iteration pays no attribute chains or counter-key hashing.
+        access = self._hierarchy.l1.access
+        misses_tracked = self._stats.counter("read_misses_tracked")
+        heappush, heappop = heapq.heappush, heapq.heappop
+        sampling = sampler is not None and sample_every > 0
         for req in trace:
             now += issue_cost
-            result = self._hierarchy.access(req, now)
+            result = access(req, now)
             ops += 1
-            if not req.is_write and result.latency > pipelined:
-                heapq.heappush(window, now + result.latency)
-                self._stats.add("read_misses_tracked")
+            if result.latency > pipelined and not req.is_write:
+                heappush(window, now + result.latency)
+                misses_tracked.value += 1
                 while len(window) > window_size:
-                    earliest = heapq.heappop(window)
+                    earliest = heappop(window)
                     if earliest > now:
                         stalled += earliest - now
                         now = earliest
-            if sampler is not None and sample_every \
-                    and ops % sample_every == 0:
+            if sampling and ops % sample_every == 0:
                 sampler(ops, now)
         # Retire everything still in flight and drain posted writes.
         while window:

@@ -19,7 +19,7 @@ between designs, which are driven by the event *counts*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..common.errors import ConfigError
 from ..common.stats import StatRegistry
@@ -86,7 +86,7 @@ class EnergyBreakdown:
 class EnergyModel:
     """Prices a finished run's statistics registry."""
 
-    def __init__(self, params: EnergyParams = None) -> None:
+    def __init__(self, params: Optional[EnergyParams] = None) -> None:
         self._params = params or EnergyParams()
 
     @property
@@ -136,6 +136,7 @@ class EnergyModel:
         return out
 
 
-def energy_of_run(result, params: EnergyParams = None) -> EnergyBreakdown:
+def energy_of_run(result,
+                  params: Optional[EnergyParams] = None) -> EnergyBreakdown:
     """Convenience wrapper: price a :class:`RunResult`."""
     return EnergyModel(params).evaluate(result.stats)

@@ -9,17 +9,68 @@ every statistic the experiment modules consume.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..cache.hierarchy import CacheHierarchy
 from ..common.config import SystemConfig
 from ..common.stats import StatRegistry
+from ..common.types import Request
 from ..sw.layout import Layout, make_layout
 from ..sw.program import Program
 from ..sw.tracegen import generate_trace
 from ..workloads.registry import build_workload
 from .cpu import TraceDrivenCpu
+
+# -- Trace materialization cache ---------------------------------------------
+#
+# A trace is a pure function of (workload, size, logical_dims) when the
+# layout is the protocol default, yet every design point sharing those
+# three re-walked the kernel IR from scratch.  Materializing the request
+# tuple once and replaying it across designs removes the whole compile +
+# walk cost from all but the first run of each (workload, size, dims).
+
+_TraceKey = Tuple[str, str, int]
+_TRACE_CACHE: "OrderedDict[_TraceKey, Tuple[str, Tuple[Request, ...]]]" = \
+    OrderedDict()
+_TRACE_CACHE_MAX = 8
+_trace_cache_hits = 0
+_trace_cache_misses = 0
+
+
+def _materialized_trace(workload: str, size: str,
+                        logical_dims: int) -> Tuple[str, Tuple[Request, ...]]:
+    """(program name, realized trace) for a default-layout workload."""
+    global _trace_cache_hits, _trace_cache_misses
+    key = (workload, size, logical_dims)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        _trace_cache_hits += 1
+        _TRACE_CACHE.move_to_end(key)
+        return cached
+    _trace_cache_misses += 1
+    program = build_workload(workload, size)
+    layout = make_layout(program.arrays, logical_dims)
+    trace = tuple(generate_trace(program, logical_dims, layout))
+    _TRACE_CACHE[key] = (program.name, trace)
+    while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+        _TRACE_CACHE.popitem(last=False)
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop all materialized traces (tests and benchmarks)."""
+    global _trace_cache_hits, _trace_cache_misses
+    _TRACE_CACHE.clear()
+    _trace_cache_hits = 0
+    _trace_cache_misses = 0
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Hit/miss/entry counts of the trace materialization cache."""
+    return {"hits": _trace_cache_hits, "misses": _trace_cache_misses,
+            "entries": len(_TRACE_CACHE)}
 
 
 @dataclass
@@ -116,14 +167,20 @@ def run_simulation(system: SystemConfig,
     """
     if (program is None) == (workload is None):
         raise ValueError("pass exactly one of program= or workload=")
-    if program is None:
-        program = build_workload(workload, size)
+    logical_dims = compile_dims or system.logical_dims
+    if program is None and layout is None:
+        # Default-layout registry run: replay the materialized trace
+        # shared by every design with this logical dimensionality.
+        name, trace = _materialized_trace(workload, size, logical_dims)
+    else:
+        if program is None:
+            program = build_workload(workload, size)
+        if layout is None:
+            layout = make_layout(program.arrays, logical_dims)
+        name = program.name
+        trace = generate_trace(program, logical_dims, layout)
     stats = StatRegistry()
     hierarchy = CacheHierarchy(system, stats, replacement)
-    logical_dims = compile_dims or system.logical_dims
-    if layout is None:
-        layout = make_layout(program.arrays, logical_dims)
-    trace = generate_trace(program, logical_dims, layout)
     samples: List[OccupancySample] = []
 
     def sampler(ops: int, now: int) -> None:
@@ -136,7 +193,7 @@ def run_simulation(system: SystemConfig,
                      sampler=sampler if sample_every else None,
                      sample_every=sample_every)
     ops = stats.group("cpu").get("ops")
-    return RunResult(system=system, workload=program.name,
+    return RunResult(system=system, workload=name,
                      cycles=cycles, ops=ops, stats=stats,
                      samples=samples)
 

@@ -78,8 +78,9 @@ def run_energy(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def main() -> None:
-    print(run_energy(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_energy(figure_runner('energy', argv)).report())
 
 
 if __name__ == "__main__":

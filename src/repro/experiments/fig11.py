@@ -67,8 +67,9 @@ def run_fig11(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def main() -> None:
-    print(run_fig11(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_fig11(figure_runner('fig11', argv)).report())
 
 
 if __name__ == "__main__":

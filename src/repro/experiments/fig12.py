@@ -89,8 +89,9 @@ def run_fig12(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def main() -> None:
-    print(run_fig12(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_fig12(figure_runner('fig12', argv)).report())
 
 
 if __name__ == "__main__":

@@ -57,8 +57,9 @@ def run_fig13(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def main() -> None:
-    print(run_fig13(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_fig13(figure_runner('fig13', argv)).report())
 
 
 if __name__ == "__main__":

@@ -80,8 +80,9 @@ def run_fig14(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def main() -> None:
-    print(run_fig14(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_fig14(figure_runner('fig14', argv)).report())
 
 
 if __name__ == "__main__":

@@ -91,8 +91,8 @@ def run_fig15(runner: Optional[ExperimentRunner] = None,
         # Choose the sampling stride from a cheap trace-length estimate
         # so every run yields roughly `samples` points.
         probe = runner.run(design, workload, size,
-                           sample_every=_stride_for(workload, size,
-                                                    samples))
+                           sample_every=stride_for(workload, size,
+                                                   samples))
         per_level: Dict[str, OccupancySeries] = {}
         for sample in probe.samples:
             for level, (rows, cols) in sample.by_level.items():
@@ -104,7 +104,7 @@ def run_fig15(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def _stride_for(workload: str, size: str, samples: int) -> int:
+def stride_for(workload: str, size: str, samples: int) -> int:
     """Ops between occupancy samples, targeting ``samples`` points."""
     from ..sw.tracegen import trace_length
     from ..workloads.registry import build_workload
@@ -112,8 +112,9 @@ def _stride_for(workload: str, size: str, samples: int) -> int:
     return max(1, length // samples)
 
 
-def main() -> None:
-    print(run_fig15(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_fig15(figure_runner('fig15', argv)).report())
 
 
 if __name__ == "__main__":

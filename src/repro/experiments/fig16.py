@@ -64,8 +64,9 @@ def run_fig16(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def main() -> None:
-    print(run_fig16(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_fig16(figure_runner('fig16', argv)).report())
 
 
 if __name__ == "__main__":

@@ -74,8 +74,9 @@ def run_fig17(runner: Optional[ExperimentRunner] = None,
     return result
 
 
-def main() -> None:
-    print(run_fig17(ExperimentRunner(verbose=True)).report())
+def main(argv=None) -> None:
+    from .plans import figure_runner
+    print(run_fig17(figure_runner('fig17', argv)).report())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,193 @@
+"""Run plans: every simulation point a figure needs, known up front.
+
+Each ``plan_figNN`` mirrors the run loop of its figure module exactly,
+but yields :class:`RunKey` descriptions instead of executing them.  The
+scheduler (:meth:`ExperimentRunner.prefetch`) dedupes the keys across
+figures and fans the unique points out over worker processes; the
+figure's ``run_figNN`` then replays the same calls as memo hits, so the
+reported numbers are bit-identical to a sequential run.
+
+:func:`figure_runner` is the shared CLI shim: it gives every figure's
+``main`` the ``--jobs`` / ``--no-cache`` / ``--refresh`` flags and a
+prefetched runner backed by the persistent cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..workloads.registry import workload_names
+from . import fig11, fig12, fig13, fig15, fig16, fig17
+from .runner import RUNCACHE_DIRNAME, ExperimentRunner, RunKey
+
+
+def plan_fig11(workloads: Optional[List[str]] = None,
+               size: str = "large",
+               llc_mb: float = 1.0) -> List[RunKey]:
+    keys = []
+    for workload in workloads or workload_names():
+        keys.append(RunKey("1P1L", workload, size, llc_mb,
+                           False, "default", 0))
+        for design in fig11.DESIGNS:
+            keys.append(RunKey(design, workload, size, llc_mb,
+                               False, "default", 0))
+    return keys
+
+
+def plan_fig12(workloads: Optional[List[str]] = None,
+               llc_points: Optional[Iterable[float]] = None,
+               size: str = "large") -> List[RunKey]:
+    keys = []
+    for llc_mb in llc_points or fig12.LLC_POINTS:
+        for workload in workloads or workload_names():
+            keys.append(RunKey("1P1L", workload, size, llc_mb,
+                               False, "default", 0))
+            for design in fig12.DESIGNS:
+                keys.append(RunKey(design, workload, size, llc_mb,
+                                   False, "default", 0))
+    return keys
+
+
+def plan_fig13(workloads: Optional[List[str]] = None,
+               size: str = "small") -> List[RunKey]:
+    keys = []
+    for workload in workloads or workload_names():
+        keys.append(RunKey("1P1L", workload, size, 1.0,
+                           True, "default", 0))
+        for design in fig13.DESIGNS:
+            keys.append(RunKey(design, workload, size, 1.0,
+                               True, "default", 0))
+    return keys
+
+
+def plan_fig14(workloads: Optional[List[str]] = None,
+               size: str = "large",
+               llc_mb: float = 1.0) -> List[RunKey]:
+    # Fig. 14 visits exactly the Fig. 11 design x workload space.
+    return plan_fig11(workloads, size, llc_mb)
+
+
+def plan_fig15(workloads: Optional[List[str]] = None,
+               size: str = "large", design: str = "1P2L",
+               samples: int = fig15.DEFAULT_SAMPLES) -> List[RunKey]:
+    keys = []
+    for workload in workloads or fig15.WORKLOADS:
+        stride = fig15.stride_for(workload, size, samples)
+        keys.append(RunKey(design, workload, size, 1.0,
+                           False, "default", stride))
+    return keys
+
+
+def plan_fig16(workloads: Optional[List[str]] = None,
+               size: str = "large",
+               llc_mb: float = 1.0) -> List[RunKey]:
+    keys = []
+    for workload in workloads or workload_names():
+        keys.append(RunKey("1P1L", workload, size, llc_mb,
+                           False, "default", 0))
+        for design in fig16.DESIGNS:
+            keys.append(RunKey(design, workload, size, llc_mb,
+                               False, "default", 0))
+    return keys
+
+
+def plan_fig17(workloads: Optional[List[str]] = None,
+               size: str = "large",
+               llc_mb: float = 1.0) -> List[RunKey]:
+    keys = []
+    for _, design, memory in fig17.VARIANTS:
+        for workload in workloads or workload_names():
+            keys.append(RunKey(design, workload, size, llc_mb,
+                               False, memory, 0))
+    return keys
+
+
+def plan_energy(workloads: Optional[List[str]] = None,
+                size: str = "large",
+                llc_mb: float = 1.0) -> List[RunKey]:
+    # The energy extension prices the Fig. 11 design x workload space.
+    return plan_fig11(workloads, size, llc_mb)
+
+
+#: Experiments with a precomputable run plan.  Experiments absent here
+#: (table1, fig10, layout_mismatch, ...) drive the simulator directly
+#: with bespoke systems or layouts and run sequentially as before.
+PLANNERS: Dict[str, Callable[[], List[RunKey]]] = {
+    "fig11": plan_fig11,
+    "fig12": plan_fig12,
+    "fig13": plan_fig13,
+    "fig14": plan_fig14,
+    "fig15": plan_fig15,
+    "fig16": plan_fig16,
+    "fig17": plan_fig17,
+    "energy": plan_energy,
+}
+
+
+def plan_for(names: Iterable[str]) -> List[RunKey]:
+    """Deduplicated run plan covering every named experiment.
+
+    Unknown names are skipped (they have no precomputable plan), and
+    duplicate points shared between figures appear once, in first-seen
+    order.
+    """
+    keys: List[RunKey] = []
+    for name in names:
+        planner = PLANNERS.get(name)
+        if planner is not None:
+            keys.extend(planner())
+    return list(dict.fromkeys(keys))
+
+
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared scheduler/cache flags, on any experiment parser."""
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="simulate up to N points in parallel "
+                             "(default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent "
+                             "run cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-simulate cached points and overwrite "
+                             "their cache entries")
+    parser.add_argument("--outdir", default="results",
+                        help="results directory; the run cache lives "
+                             "in OUTDIR/.runcache (default: results)")
+
+
+def runner_from_args(args: argparse.Namespace,
+                     verbose: bool = True) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` configured by the shared flags."""
+    cache_dir = None if args.no_cache else \
+        os.path.join(args.outdir, RUNCACHE_DIRNAME)
+    return ExperimentRunner(verbose=verbose, jobs=args.jobs,
+                            cache_dir=cache_dir, refresh=args.refresh)
+
+
+def figure_runner(name: str,
+                  argv: Optional[List[str]] = None) -> ExperimentRunner:
+    """Parse an experiment CLI and return a prefetched runner.
+
+    Used by every planned figure's ``main``: collects the figure's run
+    plan, satisfies it from the persistent cache, simulates what is
+    missing (in parallel under ``--jobs``), and hands back a runner on
+    which the figure's run loop is pure memo hits.
+    """
+    parser = argparse.ArgumentParser(
+        prog=f"repro.experiments.{name}",
+        description=f"regenerate {name} (see the module docstring)")
+    add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+    runner = runner_from_args(args)
+    planner = PLANNERS.get(name)
+    if planner is not None:
+        runner.prefetch(planner())
+        info = runner.cache_info()
+        if info.requests:
+            print(f"  [{name}] run cache: {info.describe()}",
+                  file=sys.stderr)
+    return runner

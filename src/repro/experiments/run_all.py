@@ -4,17 +4,22 @@
 report per table/figure (plus the extensions) and a ``summary.json``
 with the headline metrics — the full-evaluation artifact a release
 would ship.  Runs share one :class:`ExperimentRunner`, so common
-simulation points are computed once; expect ~10-15 minutes for the
-complete set at the default sizes.
+simulation points are computed once.  The planned simulation points of
+every selected figure are collected and deduplicated up front, then
+satisfied from the persistent run cache under ``OUTDIR/.runcache``
+(``--no-cache`` / ``--refresh`` to bypass) and simulated in parallel
+under ``--jobs N``; a warm cache regenerates the complete artifact set
+in seconds.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .dynamic_orientation import run_dynamic_orientation
 from .energy import run_energy
@@ -29,7 +34,8 @@ from .fig17 import run_fig17
 from .future_tiling import run_future_tiling
 from .layout_mismatch import run_layout_mismatch
 from .multiprogram import run_multiprogram
-from .runner import ExperimentRunner
+from .plans import plan_for
+from .runner import RUNCACHE_DIRNAME, ExperimentRunner
 from .table1 import run_table1
 
 
@@ -84,14 +90,42 @@ def _experiments(runner: ExperimentRunner) \
 
 def run_all(outdir: str = "results",
             only: Optional[Tuple[str, ...]] = None,
-            verbose: bool = True) -> Dict[str, Dict[str, float]]:
-    """Run every (or the selected) experiment; returns the summary."""
+            verbose: bool = True,
+            jobs: int = 1,
+            use_cache: bool = True,
+            refresh: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run every (or the selected) experiment; returns the summary.
+
+    Args:
+        outdir: results directory; the persistent run cache lives in
+            ``outdir/.runcache`` unless ``use_cache`` is false.
+        only: restrict to these experiment names.
+        verbose: progress logging on stderr.
+        jobs: worker processes for the shared simulation points.
+        use_cache: read/write the persistent run cache.
+        refresh: re-simulate cached points, overwriting their entries.
+    """
     os.makedirs(outdir, exist_ok=True)
-    runner = ExperimentRunner(verbose=verbose)
+    cache_dir = os.path.join(outdir, RUNCACHE_DIRNAME) if use_cache \
+        else None
+    runner = ExperimentRunner(verbose=verbose, jobs=jobs,
+                              cache_dir=cache_dir, refresh=refresh)
+    experiments = _experiments(runner)
+    selected = [name for name in experiments
+                if not only or name in only]
+    # Collect every planned simulation point across the selected
+    # figures up front, dedupe, and fill the runner's memo (from the
+    # persistent cache where possible, worker processes otherwise);
+    # the per-figure run loops below then replay them as memo hits.
+    plan = plan_for(selected)
+    if plan:
+        if verbose:
+            print(f"== prefetch: {len(plan)} unique simulation points "
+                  f"==", file=sys.stderr)
+        runner.prefetch(plan)
     summary: Dict[str, Dict[str, float]] = {}
-    for name, (thunk, extract) in _experiments(runner).items():
-        if only and name not in only:
-            continue
+    for name in selected:
+        thunk, extract = experiments[name]
         started = time.time()
         if verbose:
             print(f"== {name} ==", file=sys.stderr)
@@ -101,15 +135,45 @@ def run_all(outdir: str = "results",
             handle.write(report + "\n")
         summary[name] = dict(extract(result),
                              seconds=round(time.time() - started, 1))
+    if verbose:
+        info = runner.cache_info()
+        print(f"== run cache: {info.describe()} ==", file=sys.stderr)
     with open(os.path.join(outdir, "summary.json"), "w") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     return summary
 
 
-def main() -> None:
-    outdir = sys.argv[1] if len(sys.argv) > 1 else "results"
-    only = tuple(sys.argv[2:]) or None
-    summary = run_all(outdir, only)
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run_all",
+        description="regenerate every experiment artifact")
+    parser.add_argument("outdir", nargs="?", default=None,
+                        help="output directory (default: results)")
+    parser.add_argument("--outdir", dest="outdir_opt", default=None,
+                        metavar="DIR",
+                        help="output directory (flag form, for "
+                             "`repro experiment run_all`)")
+    parser.add_argument("names", nargs="*",
+                        help="restrict to these experiments "
+                             "(default: all)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="simulate up to N points in parallel "
+                             "(default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent "
+                             "run cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-simulate cached points and overwrite "
+                             "their cache entries")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress logging")
+    args = parser.parse_args(argv)
+    outdir = args.outdir_opt or args.outdir or "results"
+    summary = run_all(outdir, tuple(args.names) or None,
+                      verbose=not args.quiet, jobs=args.jobs,
+                      use_cache=not args.no_cache,
+                      refresh=args.refresh)
     print(json.dumps(summary, indent=2, sort_keys=True))
 
 

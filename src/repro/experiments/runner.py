@@ -1,24 +1,50 @@
-"""Shared experiment runner with run memoization.
+"""Shared experiment engine: memoized, disk-cached, parallel runs.
 
 Several figures reuse the same simulation points (e.g. the 1 MB-LLC
 baseline appears in Figs. 11, 12, 14, 16); the runner caches completed
 :class:`RunResult` objects per configuration key so a full-suite
-regeneration simulates each point exactly once.
+regeneration simulates each point exactly once.  On top of the
+in-process memo this module provides:
+
+* a **persistent run cache** (pickles under ``results/.runcache/`` by
+  default, keyed by a stable hash of the :class:`RunKey` plus a
+  fingerprint of the fully-resolved :class:`SystemConfig`) so re-runs
+  and partial sweeps skip already-simulated points across processes;
+* a **process-pool scheduler** (:meth:`ExperimentRunner.prefetch`) that
+  takes the deduplicated set of points a figure suite needs and fans
+  the uncached ones out over ``multiprocessing`` workers.
+
+Every path funnels through :func:`simulate_run_key`, so parallel,
+cached, and sequential executions produce bit-identical statistics.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
 import sys
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..common.config import MemoryConfig
+from ..common.config import MemoryConfig, SystemConfig
 from ..core.simulator import RunResult, run_simulation
 from ..core.system import make_resident_system, make_system
 
 #: Paper Fig. 17 evaluates a 1.6x faster main memory.
 FAST_MEMORY_FACTOR = 1.6
+
+#: Bump when the on-disk payload layout changes; old entries become
+#: silent misses rather than unpickling hazards.
+CACHE_FORMAT_VERSION = 1
+
+#: Default location of the persistent run cache, relative to an
+#: experiment output directory.
+RUNCACHE_DIRNAME = ".runcache"
 
 
 @dataclass(frozen=True)
@@ -34,12 +60,174 @@ class RunKey:
     sample_every: int
 
 
-class ExperimentRunner:
-    """Builds systems, runs simulations, memoizes results."""
+def memory_config(variant: str) -> MemoryConfig:
+    """The :class:`MemoryConfig` for a run key's memory variant."""
+    base = MemoryConfig()
+    if variant == "default":
+        return base
+    if variant == "fast":
+        return base.faster(FAST_MEMORY_FACTOR)
+    raise ValueError(f"unknown memory variant {variant!r}")
 
-    def __init__(self, verbose: bool = False) -> None:
+
+def system_for_key(key: RunKey) -> SystemConfig:
+    """Build the fully-resolved system a run key describes."""
+    mem_cfg = memory_config(key.memory)
+    if key.resident:
+        return make_resident_system(key.design, memory=mem_cfg)
+    return make_system(key.design, key.llc_mb, memory=mem_cfg)
+
+
+def simulate_run_key(key: RunKey) -> RunResult:
+    """Execute one simulation point (the single source of truth).
+
+    Sequential runs, pool workers, and cache refills all call this, so
+    every execution path yields bit-identical statistics.
+    """
+    return run_simulation(system_for_key(key), workload=key.workload,
+                          size=key.size, sample_every=key.sample_every)
+
+
+def config_fingerprint(system: SystemConfig) -> str:
+    """Stable hash of every field of a resolved system configuration.
+
+    Any change to :class:`MemoryConfig`, :class:`CacheLevelConfig`,
+    :class:`CpuConfig`, or the level stack itself changes the
+    fingerprint, invalidating persistent cache entries made under the
+    old configuration.
+    """
+    payload = dataclasses.asdict(system)
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cache_key(key: RunKey) -> str:
+    """Filename-safe persistent-cache key for one simulation point."""
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "key": dataclasses.asdict(key),
+        "config": config_fingerprint(system_for_key(key)),
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class RunCache:
+    """Persistent on-disk store of completed :class:`RunResult` objects.
+
+    One pickle per simulation point, written atomically; a corrupt or
+    format-mismatched entry reads as a miss, never as an error.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._root = root
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def path_for(self, key: RunKey) -> str:
+        return os.path.join(self._root, cache_key(key) + ".pkl")
+
+    def load(self, key: RunKey) -> Optional[RunResult]:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        return payload.get("result")
+
+    def store(self, key: RunKey, result: RunResult) -> None:
+        os.makedirs(self._root, exist_ok=True)
+        path = self.path_for(key)
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": dataclasses.asdict(key),
+            "result": result,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self._root):
+            return removed
+        for name in os.listdir(self._root):
+            if name.endswith(".pkl"):
+                os.remove(os.path.join(self._root, name))
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self._root):
+            return 0
+        return sum(1 for name in os.listdir(self._root)
+                   if name.endswith(".pkl"))
+
+
+@dataclass
+class CacheInfo:
+    """Hit/miss accounting for one :class:`ExperimentRunner`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def hit_fraction(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.memory_hits} memo hits, {self.disk_hits} disk "
+                f"hits, {self.misses} simulated")
+
+
+def _pool_entry(key: RunKey) -> Tuple[RunKey, RunResult, float]:
+    """Worker-side wrapper: simulate one key, report its wall time."""
+    started = time.time()
+    result = simulate_run_key(key)
+    return key, result, time.time() - started
+
+
+class ExperimentRunner:
+    """Builds systems, runs simulations, memoizes and caches results.
+
+    Args:
+        verbose: log each simulated (or disk-recalled) point to stderr.
+        jobs: default worker-process count for :meth:`prefetch`.
+        cache_dir: directory of the persistent run cache; ``None``
+            (the default) keeps the runner purely in-memory.
+        refresh: ignore existing persistent entries (they are
+            overwritten with freshly simulated results).
+    """
+
+    def __init__(self, verbose: bool = False, jobs: int = 1,
+                 cache_dir: Optional[str] = None,
+                 refresh: bool = False) -> None:
         self._cache: Dict[RunKey, RunResult] = {}
         self._verbose = verbose
+        self._jobs = max(1, int(jobs))
+        self._disk = RunCache(cache_dir) if cache_dir else None
+        self._refresh = refresh
+        self._info = CacheInfo()
+
+    # -- running -------------------------------------------------------------
 
     def run(self, design: str, workload: str, size: str = "large",
             llc_mb: float = 1.0, resident: bool = False,
@@ -48,35 +236,126 @@ class ExperimentRunner:
         """Simulate (or recall) one point."""
         key = RunKey(design, workload, size, llc_mb, resident, memory,
                      sample_every)
-        if key in self._cache:
-            return self._cache[key]
-        mem_cfg = self._memory_config(memory)
-        if resident:
-            system = make_resident_system(design, memory=mem_cfg)
-        else:
-            system = make_system(design, llc_mb, memory=mem_cfg)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._info.memory_hits += 1
+            return cached
+        result = self._load_from_disk(key)
+        if result is not None:
+            self._info.disk_hits += 1
+            self._cache[key] = result
+            self._log(key, result, seconds=0.0, source="runcache")
+            return result
+        self._info.misses += 1
         started = time.time()
-        result = run_simulation(system, workload=workload, size=size,
-                                sample_every=sample_every)
-        if self._verbose:
-            print(f"  ran {design} / {workload} / {size} "
-                  f"(llc={llc_mb}MB mem={memory}"
-                  f"{' resident' if resident else ''}): "
-                  f"{result.cycles} cycles "
-                  f"[{time.time() - started:.1f}s]",
-                  file=sys.stderr)
-        self._cache[key] = result
+        result = simulate_run_key(key)
+        self._log(key, result, seconds=time.time() - started)
+        self._store(key, result)
         return result
 
-    @staticmethod
-    def _memory_config(variant: str) -> MemoryConfig:
-        base = MemoryConfig()
-        if variant == "default":
-            return base
-        if variant == "fast":
-            return base.faster(FAST_MEMORY_FACTOR)
-        raise ValueError(f"unknown memory variant {variant!r}")
+    def prefetch(self, keys: Iterable[RunKey],
+                 jobs: Optional[int] = None) -> int:
+        """Ensure every key is memo-resident; returns points simulated.
+
+        Deduplicates ``keys``, satisfies what it can from the memo and
+        the persistent cache, and fans the remaining unique points out
+        over ``jobs`` worker processes (the runner's default when not
+        given).  After this returns, :meth:`run` for any of the keys is
+        a memo hit.
+        """
+        jobs = self._jobs if jobs is None else max(1, int(jobs))
+        pending: List[RunKey] = []
+        for key in dict.fromkeys(keys):
+            if key in self._cache:
+                continue
+            result = self._load_from_disk(key)
+            if result is not None:
+                self._info.disk_hits += 1
+                self._cache[key] = result
+                self._log(key, result, seconds=0.0, source="runcache")
+                continue
+            pending.append(key)
+        if not pending:
+            return 0
+        self._info.misses += len(pending)
+        if jobs == 1 or len(pending) == 1:
+            for key in pending:
+                started = time.time()
+                result = simulate_run_key(key)
+                self._log(key, result, seconds=time.time() - started)
+                self._store(key, result)
+            return len(pending)
+        # POSIX fork keeps workers importable regardless of how the
+        # parent was launched (pytest, -m, REPL); fall back otherwise.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        workers = min(jobs, len(pending))
+        if self._verbose:
+            print(f"  scheduling {len(pending)} simulation points over "
+                  f"{workers} workers", file=sys.stderr)
+        with ctx.Pool(processes=workers) as pool:
+            for key, result, seconds in pool.imap_unordered(
+                    _pool_entry, pending):
+                self._log(key, result, seconds=seconds)
+                self._store(key, result)
+        return len(pending)
+
+    # -- cache management ----------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        """Forget memoized results and reset hit/miss accounting.
+
+        Args:
+            disk: also delete the persistent cache entries on disk.
+        """
+        self._cache.clear()
+        self._info = CacheInfo()
+        if disk and self._disk is not None:
+            self._disk.clear()
+
+    def cache_info(self) -> CacheInfo:
+        """A snapshot of the hit/miss accounting so far."""
+        return dataclasses.replace(self._info)
 
     @property
     def runs_completed(self) -> int:
         return len(self._cache)
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    @property
+    def run_cache(self) -> Optional[RunCache]:
+        return self._disk
+
+    # -- internals -----------------------------------------------------------
+
+    def _load_from_disk(self, key: RunKey) -> Optional[RunResult]:
+        if self._disk is None or self._refresh:
+            return None
+        return self._disk.load(key)
+
+    def _store(self, key: RunKey, result: RunResult) -> None:
+        self._cache[key] = result
+        if self._disk is not None:
+            self._disk.store(key, result)
+
+    def _log(self, key: RunKey, result: RunResult, seconds: float,
+             source: str = "simulated") -> None:
+        if not self._verbose:
+            return
+        origin = "" if source == "simulated" else f" <{source}>"
+        print(f"  ran {key.design} / {key.workload} / {key.size} "
+              f"(llc={key.llc_mb}MB mem={key.memory}"
+              f"{' resident' if key.resident else ''}): "
+              f"{result.cycles} cycles "
+              f"[{seconds:.1f}s]{origin}",
+              file=sys.stderr)
+
+    @staticmethod
+    def _memory_config(variant: str) -> MemoryConfig:
+        """Backwards-compatible alias for :func:`memory_config`."""
+        return memory_config(variant)

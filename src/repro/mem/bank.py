@@ -36,6 +36,23 @@ class CrosspointBank:
         self._open_rows: List[int] = []
         self._open_cols: List[int] = []
         self._busy_until = 0
+        # Pre-scaled array timings (scaled() is deterministic per
+        # config) and pre-bound counter cells: every line access goes
+        # through `access`, so this is one of the simulator's hottest
+        # paths.  Banks of one memory share the cells (one StatGroup).
+        self._activate_cost = config.scaled(config.activate_cycles)
+        self._read_cost = config.scaled(config.buffer_access_cycles)
+        self._write_cost = config.scaled(config.write_cycles)
+        self._sub_buffers = config.sub_buffers
+        self._column_extra = config.column_decode_extra
+        self._c_buffer_hits = stats.counter("buffer_hits")
+        self._c_buffer_misses = stats.counter("buffer_misses")
+        self._c_hits_by_orient = (stats.counter("row_buffer_hits"),
+                                  stats.counter("col_buffer_hits"))
+        self._c_misses_by_orient = (stats.counter("row_buffer_misses"),
+                                    stats.counter("col_buffer_misses"))
+        self._c_reads = stats.counter("reads")
+        self._c_writes = stats.counter("writes")
 
     @property
     def open_row(self) -> Optional[int]:
@@ -64,37 +81,31 @@ class CrosspointBank:
         returned time.  A buffer miss pays an activation; writes pay the
         (slower, for STT) array write instead of the buffer read.
         """
-        config = self._config
         start = max(at, self._busy_until)
         cost = 0
-        if self.would_hit(orientation, buffer_key):
-            self._stats.add("buffer_hits")
-            self._stats.add("row_buffer_hits" if orientation is
-                            Orientation.ROW else "col_buffer_hits")
+        is_row = orientation is Orientation.ROW
+        buffers = self._open_rows if is_row else self._open_cols
+        if buffer_key in buffers:
+            self._c_buffer_hits.value += 1
+            self._c_hits_by_orient[not is_row].value += 1
         else:
-            cost += config.scaled(config.activate_cycles)
-            self._stats.add("buffer_misses")
-            self._stats.add("row_buffer_misses" if orientation is
-                            Orientation.ROW else "col_buffer_misses")
-            self._open(orientation, buffer_key)
+            cost += self._activate_cost
+            self._c_buffer_misses.value += 1
+            self._c_misses_by_orient[not is_row].value += 1
+            buffers.append(buffer_key)
+            if len(buffers) > self._sub_buffers:
+                buffers.pop(0)
         if is_write:
-            cost += config.scaled(config.write_cycles)
-            self._stats.add("writes")
+            cost += self._write_cost
+            self._c_writes.value += 1
         else:
-            cost += config.scaled(config.buffer_access_cycles)
-            self._stats.add("reads")
-        if orientation is Orientation.COLUMN:
-            cost += config.column_decode_extra
+            cost += self._read_cost
+            self._c_reads.value += 1
+        if not is_row:
+            cost += self._column_extra
         ready = start + cost
         self._busy_until = ready
         return ready
-
-    def _open(self, orientation: Orientation, buffer_key: int) -> None:
-        buffers = (self._open_rows if orientation is Orientation.ROW
-                   else self._open_cols)
-        buffers.append(buffer_key)
-        if len(buffers) > self._config.sub_buffers:
-            buffers.pop(0)
 
     def reset(self) -> None:
         self._open_rows.clear()

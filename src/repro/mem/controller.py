@@ -57,6 +57,12 @@ class MemoryController:
         # Critical-word-first: the requester waits only for the first
         # word's share of the burst.
         self._critical_beats = max(1, config.burst_cycles // WORDS_PER_LINE)
+        self._c_line_reads = self._stats.counter("line_reads")
+        self._c_bytes_read = self._stats.counter("bytes_read")
+        self._c_read_cycles = self._stats.counter("read_cycles")
+        self._c_line_writes = self._stats.counter("line_writes")
+        self._c_bytes_written = self._stats.counter("bytes_written")
+        self._c_writes_drained = self._stats.counter("writes_drained")
 
     @property
     def decoder(self) -> AddressDecoder:
@@ -76,9 +82,9 @@ class MemoryController:
         first_beat = max(data_ready, channel.bus_free_at)
         channel.bus_free_at = first_beat + self._config.burst_cycles
         completion = first_beat + self._critical_beats
-        self._stats.add("line_reads")
-        self._stats.add("bytes_read", LINE_BYTES)
-        self._stats.add("read_cycles", completion - now)
+        self._c_line_reads.value += 1
+        self._c_bytes_read.value += LINE_BYTES
+        self._c_read_cycles.value += completion - now
         return completion
 
     def write_line(self, line_id: int, now: int) -> int:
@@ -87,8 +93,8 @@ class MemoryController:
         channel = self._channels[decoded.channel]
         self._drain_idle(channel, now)
         channel.write_queue.append((line_id, decoded))
-        self._stats.add("line_writes")
-        self._stats.add("bytes_written", LINE_BYTES)
+        self._c_line_writes.value += 1
+        self._c_bytes_written.value += LINE_BYTES
         if len(channel.write_queue) >= self._config.write_queue_high:
             self._drain_to_low(channel, now)
         return now + 1
@@ -148,7 +154,7 @@ class MemoryController:
         bank = self._banks[self._decoder.bank_key(decoded)]
         done = bank.access(decoded.orientation, decoded.buffer_key,
                            is_write=True, at=data_at)
-        self._stats.add("writes_drained")
+        self._c_writes_drained.value += 1
         return done
 
     def reset(self) -> None:

@@ -23,6 +23,7 @@ timing therefore keys on ``(R, r)`` for rows and ``(C, c)`` for columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from ..common.config import MemoryConfig
 from ..common.types import Orientation, line_id_parts
@@ -32,7 +33,7 @@ def _log2(value: int) -> int:
     return value.bit_length() - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedLine:
     """A line request decoded to its physical location.
 
@@ -78,6 +79,9 @@ class AddressDecoder:
         self._rk_mask = config.ranks_per_channel - 1
         self._bk_mask = config.banks_per_rank - 1
         self._c_mask = config.tile_cols_per_bank - 1
+        # Decode is a pure function of (config, line_id) and the hot
+        # loop revisits the same lines constantly; memoize per decoder.
+        self._decoded: Dict[int, DecodedLine] = {}
 
     @property
     def config(self) -> MemoryConfig:
@@ -85,6 +89,9 @@ class AddressDecoder:
 
     def decode_line(self, line_id: int) -> DecodedLine:
         """Decode an oriented line id (see :mod:`repro.common.types`)."""
+        cached = self._decoded.get(line_id)
+        if cached is not None:
+            return cached
         tile, orientation, index = line_id_parts(line_id)
         bits = tile
         channel = bits & self._ch_mask
@@ -101,7 +108,7 @@ class AddressDecoder:
         else:
             row_id = tile_row * 8  # first row the line crosses
             col_id = tile_col * 8 + index
-        return DecodedLine(
+        decoded = DecodedLine(
             channel=channel,
             rank=rank,
             bank=bank,
@@ -111,6 +118,8 @@ class AddressDecoder:
             tile=tile,
             index=index,
         )
+        self._decoded[line_id] = decoded
+        return decoded
 
     def bank_key(self, decoded: DecodedLine) -> int:
         """Dense index of the (channel, rank, bank) triple."""

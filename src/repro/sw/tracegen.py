@@ -15,7 +15,7 @@ emits one per lane.  Loop tails and non-vectorized nests emit scalars.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from ..common.types import AccessWidth, Orientation, Request, line_id_of
 from .layout import Layout, make_layout
@@ -31,7 +31,7 @@ from .vectorizer import (
 
 
 def generate_trace(program: Program, logical_dims: int = 2,
-                   layout: Layout = None) -> Iterator[Request]:
+                   layout: Optional[Layout] = None) -> Iterator[Request]:
     """Requests for a whole program, compiled for ``logical_dims``.
 
     The layout defaults to the one matching the logical dimensionality
