@@ -6,8 +6,9 @@ Commands:
 * ``run``        — simulate one workload on one design and print stats.
 * ``experiment`` — regenerate one of the paper's tables/figures.
 * ``sweep``      — normalized cycles for every design at one LLC point.
-* ``trace``      — generate a trace file from a workload, or replay a
-  trace file through a design.
+* ``trace``      — generate a trace file from a workload, replay a
+  trace file (text or packed binary) through a design, or convert
+  between the two formats (``pack`` / ``cat``).
 """
 
 from __future__ import annotations
@@ -91,19 +92,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_packed_trace(path: str) -> bool:
+    from .sw.tracefile import PACKED_MAGIC
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(PACKED_MAGIC)) == PACKED_MAGIC
+    except OSError:
+        return False
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .core.simulator import run_trace
-    from .sw.tracefile import read_trace, write_trace
-    from .sw.tracegen import generate_trace
+    from .sw.tracefile import (
+        read_packed_trace,
+        read_trace,
+        write_packed_trace,
+        write_trace,
+    )
+    from .sw.tracegen import generate_packed_trace, generate_trace
     from .workloads.registry import build_workload
     if args.action == "gen":
         program = build_workload(args.workload, args.size)
         dims = 2 if args.mda else 1
-        count = write_trace(generate_trace(program, dims), args.file)
-        print(f"wrote {count} requests to {args.file}")
+        if args.packed:
+            trace = generate_packed_trace(program, dims)
+            count = write_packed_trace(trace, args.file,
+                                       name=args.workload)
+            kind = "packed requests"
+        else:
+            count = write_trace(generate_trace(program, dims),
+                                args.file)
+            kind = "requests"
+        print(f"wrote {count} {kind} to {args.file}")
         return 0
-    result = run_trace(make_system(args.design, args.llc),
-                       read_trace(args.file), name=args.file)
+    if args.action == "pack":
+        from .common.types import PackedTrace
+        trace = PackedTrace.from_requests(read_trace(args.input))
+        count = write_packed_trace(trace, args.output, name=args.input)
+        print(f"packed {count} requests into {args.output}")
+        return 0
+    if args.action == "cat":
+        name, trace = read_packed_trace(args.file)
+        if args.output:
+            count = write_trace(iter(trace), args.output)
+        else:
+            count = write_trace(iter(trace), sys.stdout)
+        print(f"unpacked {count} requests from {args.file} "
+              f"(name: {name})", file=sys.stderr)
+        return 0
+    # `trace run` replays either format; packed files are detected by
+    # their magic and take the allocation-free replay loop.
+    if _is_packed_trace(args.file):
+        name, trace = read_packed_trace(args.file)
+        result = run_trace(make_system(args.design, args.llc),
+                           trace, name=name or args.file)
+    else:
+        result = run_trace(make_system(args.design, args.llc),
+                           read_trace(args.file), name=args.file)
     print(result.describe())
     return 0
 
@@ -154,7 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(LLC_SIZES))
     sweep_p.set_defaults(func=_cmd_sweep)
 
-    trace_p = sub.add_parser("trace", help="trace file generate/replay")
+    trace_p = sub.add_parser("trace",
+                             help="trace file generate/replay/convert")
     trace_sub = trace_p.add_subparsers(dest="action", required=True)
     gen_p = trace_sub.add_parser("gen", help="generate a trace file")
     gen_p.add_argument("workload", choices=workload_names())
@@ -163,13 +209,27 @@ def build_parser() -> argparse.ArgumentParser:
                        default="small")
     gen_p.add_argument("--mda", action="store_true",
                        help="compile for the logically 2-D target")
+    gen_p.add_argument("--packed", action="store_true",
+                       help="write the packed binary format")
     gen_p.set_defaults(func=_cmd_trace, action="gen")
-    run_p2 = trace_sub.add_parser("run", help="replay a trace file")
+    run_p2 = trace_sub.add_parser(
+        "run", help="replay a trace file (text or packed)")
     run_p2.add_argument("design", choices=DESIGN_NAMES)
     run_p2.add_argument("file")
     run_p2.add_argument("--llc", type=float, default=1.0,
                         choices=sorted(LLC_SIZES))
     run_p2.set_defaults(func=_cmd_trace, action="run")
+    pack_p = trace_sub.add_parser(
+        "pack", help="convert a text v1 trace to packed binary")
+    pack_p.add_argument("input", help="text trace file (v1 format)")
+    pack_p.add_argument("output", help="packed binary trace to write")
+    pack_p.set_defaults(func=_cmd_trace, action="pack")
+    cat_p = trace_sub.add_parser(
+        "cat", help="convert a packed binary trace to text v1")
+    cat_p.add_argument("file", help="packed binary trace file")
+    cat_p.add_argument("output", nargs="?", default=None,
+                       help="text trace to write (default: stdout)")
+    cat_p.set_defaults(func=_cmd_trace, action="cat")
     return parser
 
 

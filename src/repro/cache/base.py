@@ -72,6 +72,16 @@ class CacheLevel(abc.ABC):
                  stats: StatRegistry, replacement: str = "lru") -> None:
         self._cfg = config
         self._level = level_index
+        # Config-derived values the per-request paths read constantly;
+        # materialized once so hits pay plain attribute loads instead of
+        # property descriptors recomputing division/max every access.
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        self._hit_latency = config.hit_latency
+        self._tag_latency = config.tag_latency
+        self._data_latency = config.data_latency
+        self._write_latency = config.hit_latency \
+            + config.write_extra_latency
         self._stats: StatGroup = stats.group(f"cache.{config.name}")
         self._mshr = MshrFile(config.mshr_entries,
                               stats.group(f"cache.{config.name}.mshr"))
@@ -92,7 +102,10 @@ class CacheLevel(abc.ABC):
         # the data lands must wait for it (this keeps prefetch timing
         # honest and charges coalesced hits their residual latency).
         self._ready_at: Dict[int, int] = {}
-        # Pre-bound counter cells for the per-request paths.
+        # Pre-bound MSHR methods and counter cells for the
+        # per-request paths.
+        self._mshr_fetch_slot = self._mshr.fetch_slot
+        self._mshr_record = self._mshr.record
         self._c_tag_probes = self._stats.counter("tag_probes")
         self._c_mshr_coalesced = self._stats.counter("mshr_coalesced")
         self._c_fills = self._stats.counter("fills")
@@ -162,19 +175,7 @@ class CacheLevel(abc.ABC):
     # -- shared helpers -------------------------------------------------------
 
     def _set_for(self, number: int) -> ReplacementSet:
-        return self._sets[number % self._cfg.num_sets]
-
-    @property
-    def _hit_latency(self) -> int:
-        return self._cfg.hit_latency
-
-    @property
-    def _tag_latency(self) -> int:
-        return self._cfg.tag_latency
-
-    @property
-    def _write_latency(self) -> int:
-        return self._cfg.hit_latency + self._cfg.write_extra_latency
+        return self._sets[number % self._num_sets]
 
     def _fetch_below(self, line_id: int, now: int,
                      width: AccessWidth) -> Tuple[int, int]:
@@ -183,18 +184,15 @@ class CacheLevel(abc.ABC):
         Returns (completion, serving_level).  A coalesced request is
         counted and inherits the outstanding fill's completion.
         """
-        outstanding = self._mshr.outstanding_fill(line_id, now)
-        if outstanding is not None:
-            completion, level = outstanding
+        in_flight, aux = self._mshr_fetch_slot(
+            line_id, now, self._needs_ordering)
+        if in_flight is not None:
+            # aux is the serving level of the outstanding fill.
             self._c_mshr_coalesced.value += 1
-            return max(completion, now), level
-        if self._needs_ordering:
-            issue = self._mshr.ordering_barrier(line_id, now)
-        else:
-            issue = now
-        issue = self._mshr.allocate(line_id, issue)
-        completion, level = self._lower.fetch_line(line_id, issue, width)
-        self._mshr.record(line_id, completion, level)
+            return (in_flight if in_flight > now else now), aux
+        # aux is the issue time of the newly reserved entry.
+        completion, level = self._lower.fetch_line(line_id, aux, width)
+        self._mshr_record(line_id, completion, level)
         self._c_fills.value += 1
         return completion, level
 

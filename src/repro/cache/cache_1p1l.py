@@ -29,11 +29,14 @@ from .prefetcher import StridePrefetcher
 
 
 def _row_line_number(line_id: int) -> int:
-    """Dense index of a row line (for set selection)."""
-    tile, orientation, index = line_id_parts(line_id)
-    if orientation is not Orientation.ROW:
+    """Dense index of a row line (for set selection).
+
+    Line-id layout is ``tile << 4 | orientation << 3 | index``; a row
+    line has the orientation bit clear.
+    """
+    if line_id & 8:
         raise SimulationError("1P1L cache touched with a column line")
-    return tile * 8 + index
+    return ((line_id >> 4) << 3) | (line_id & 7)
 
 
 class Cache1P1L(CacheLevel):
@@ -49,6 +52,9 @@ class Cache1P1L(CacheLevel):
             stats.group(f"cache.{config.name}.prefetch"))
         self._c_hits = self._stats.counter("hits")
         self._c_misses = self._stats.counter("misses")
+        self._c_fetch_requests = self._stats.counter("fetch_requests")
+        self._c_prefetch_fills = self._stats.counter("prefetch_fills")
+        self._prefetch_enabled = config.prefetcher.enabled
 
     # -- CPU-facing -----------------------------------------------------------
 
@@ -57,7 +63,10 @@ class Cache1P1L(CacheLevel):
             raise SimulationError(
                 "column-preference request reached a 1P1L cache; design-0 "
                 "traces must be generated with logical_dims=1")
-        self._count_demand(req)
+        a, b, c = self._demand_cells[(req.width << 1) | req.is_write]
+        a.value += 1
+        b.value += 1
+        c.value += 1
         line = req.line_id
         dirty_mask = self._write_mask(req) if req.is_write else 0
         completion, level = self._get_line(line, now, req.width, dirty_mask)
@@ -78,7 +87,7 @@ class Cache1P1L(CacheLevel):
 
     def fetch_line(self, line_id: int, now: int,
                    width: AccessWidth) -> Tuple[int, int]:
-        self._stats.add("fetch_requests")
+        self._c_fetch_requests.value += 1
         result = self._get_line(line_id, now, width, dirty_mask=0)
         # Lower-level prefetchers train on the miss stream arriving
         # from above (the classic L2/LLC stride-prefetcher placement:
@@ -88,7 +97,7 @@ class Cache1P1L(CacheLevel):
         return result
 
     def _train_stream_prefetcher(self, line_id: int, now: int) -> None:
-        if not self._cfg.prefetcher.enabled:
+        if not self._prefetch_enabled:
             return
         addr = line_base_addr(line_id)
         for line in self._prefetcher.observe(0, addr):
@@ -101,7 +110,7 @@ class Cache1P1L(CacheLevel):
             self._install(line, completion, dirty_mask=0)
             self._note_ready(line, completion + self._cfg.data_latency,
                              now)
-            self._stats.add("prefetch_fills")
+            self._c_prefetch_fills.value += 1
 
     def writeback_line(self, line_id: int, dirty_mask: int,
                        now: int) -> int:
@@ -132,23 +141,24 @@ class Cache1P1L(CacheLevel):
     def _get_line(self, line_id: int, now: int, width: AccessWidth,
                   dirty_mask: int) -> Tuple[int, int]:
         """Serve a line: hit fast path, or fill through the MSHR."""
-        self._probe()
+        self._c_tag_probes.value += 1
         if line_id in self._frames:
             self._frames[line_id] |= dirty_mask
-            self._set_for(_row_line_number(line_id)).touch(line_id)
+            self._sets[_row_line_number(line_id)
+                       % self._num_sets].touch(line_id)
             latency = self._write_latency if dirty_mask else self._hit_latency
             return self._data_ready(line_id, now) + latency, self._level
         completion, level = self._fetch_below(
             line_id, now + self._tag_latency, width)
         self._install(line_id, completion, dirty_mask)
-        done = completion + self._cfg.data_latency
+        done = completion + self._data_latency
         self._note_ready(line_id, done, now)
         return done, level
 
     def _install(self, line_id: int, now: int, dirty_mask: int) -> None:
         """Place a line, evicting the set victim when needed."""
         repl = self._set_for(_row_line_number(line_id))
-        if len(repl) >= self._cfg.assoc:
+        if len(repl) >= self._assoc:
             victim = repl.victim()
             repl.remove(victim)
             victim_dirty = self._frames.pop(victim)
@@ -170,7 +180,7 @@ class Cache1P1L(CacheLevel):
             self._install(line, completion, dirty_mask=0)
             self._note_ready(line, completion + self._cfg.data_latency,
                              now)
-            self._stats.add("prefetch_fills")
+            self._c_prefetch_fills.value += 1
 
     # -- introspection ------------------------------------------------------------
 

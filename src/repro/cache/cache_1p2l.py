@@ -42,11 +42,11 @@ from ..common.types import (
     line_id_parts,
     line_word_offset,
     line_words,
+    perpendicular_lines,
 )
 from .base import FULL_MASK, CacheLevel
 from .duplication import (
     check_duplication_invariant,
-    dirty_intersecting_lines,
     present_intersecting_lines,
 )
 from .orientation_predictor import OrientationPredictor
@@ -62,8 +62,18 @@ class Cache1P2L(CacheLevel):
         super().__init__(config, level_index, stats, replacement)
         self._frames: Dict[int, int] = {}  # line_id -> dirty mask
         self._same_set = config.mapping == "same_set"
+        self._data_write_latency = config.data_latency \
+            + config.write_extra_latency
         self._c_hits = self._stats.counter("hits")
         self._c_misses = self._stats.counter("misses")
+        self._c_misoriented = self._stats.counter("misoriented_hits")
+        self._c_fetch_requests = self._stats.counter("fetch_requests")
+        self._c_writebacks_in = self._stats.counter("writebacks_in")
+        self._c_writebacks_out = self._stats.counter("writebacks_out")
+        self._c_duplicate_cleans = self._stats.counter("duplicate_cleans")
+        self._c_evictions = self._stats.counter("evictions")
+        self._c_duplicate_evictions = \
+            self._stats.counter("duplicate_evictions")
         self._predictor: Optional[OrientationPredictor] = None
         if config.dynamic_orientation:
             self._predictor = OrientationPredictor(
@@ -72,7 +82,11 @@ class Cache1P2L(CacheLevel):
     # -- CPU-facing -------------------------------------------------------------
 
     def access(self, req: Request, now: int) -> AccessResult:
-        self._count_demand(req)
+        a, b, c = self._demand_cells[(req.orientation << 2)
+                                     | (req.width << 1) | req.is_write]
+        a.value += 1
+        b.value += 1
+        c.value += 1
         if req.width is AccessWidth.SCALAR:
             orientation = req.orientation
             if self._predictor is not None:
@@ -103,24 +117,24 @@ class Cache1P2L(CacheLevel):
         if orientation is None:
             orientation = req.orientation
         preferred = line_id_of(req.addr, orientation)
-        self._probe()
+        self._c_tag_probes.value += 1
         if self._touch_if_present(preferred):
             return (self._data_ready(preferred, now) + self._hit_latency,
                     self._level)
         other = intersecting_line(preferred, req.word_id)
-        self._probe()
+        self._c_tag_probes.value += 1
         if self._touch_if_present(other):
             # Word-presence hit in the mis-oriented line: one extra
             # sequential tag probe (paper: "the other orientation will be
             # checked, incurring additional cycles of latency").
-            self._stats.add("misoriented_hits")
+            self._c_misoriented.value += 1
             return (self._data_ready(other, now) + self._hit_latency
                     + self._tag_latency, self._level)
         # Scalar miss: two tag probes were spent; fill along preference.
         probe_cost = 2 * self._tag_latency
         completion, level = self._fill_line(preferred, now + probe_cost,
                                             AccessWidth.SCALAR)
-        return completion + self._cfg.data_latency, level
+        return completion + self._data_latency, level
 
     def _scalar_write(self, req: Request, now: int,
                       orientation: Optional[Orientation] = None) \
@@ -131,7 +145,7 @@ class Cache1P2L(CacheLevel):
         word = req.word_id
         other = intersecting_line(preferred, word)
         probe_cost = 2 * self._tag_latency  # both orientations, sequential
-        self._probe(2)
+        self._c_tag_probes.value += 2
         if preferred in self._frames:
             if other in self._frames:
                 # Write to a duplicated word: evict the copy not being
@@ -144,7 +158,7 @@ class Cache1P2L(CacheLevel):
                     self._level)
         if other in self._frames:
             # Sole copy lives in the mis-oriented line; modify it there.
-            self._stats.add("misoriented_hits")
+            self._c_misoriented.value += 1
             self._mark_dirty(other, 1 << line_word_offset(other, word))
             self._touch(other)
             return (now + probe_cost + self._data_write_latency,
@@ -159,22 +173,35 @@ class Cache1P2L(CacheLevel):
 
     def _vector_read(self, req: Request, now: int) -> Tuple[int, int]:
         preferred = req.line_id
-        self._probe()
-        if self._touch_if_present(preferred):
-            return (self._data_ready(preferred, now) + self._hit_latency,
-                    self._level)
+        self._c_tag_probes.value += 1
+        if preferred in self._frames:
+            # Inlined _touch_if_present + _data_ready fast path: the
+            # L1 vector-read hit dominates replay time.
+            if self._same_set:
+                number = preferred >> 4
+            else:
+                number = (preferred >> 4) + (preferred & 7)
+            self._sets[number % self._num_sets].touch(preferred)
+            ready = self._ready_at.get(preferred)
+            if ready is not None:
+                if ready <= now:
+                    del self._ready_at[preferred]
+                else:
+                    self._c_early_hit_waits.value += 1
+                    return ready + self._hit_latency, self._level
+            return now + self._hit_latency, self._level
         # Vector miss: eight additional probes for dirty intersecting
         # lines of the other orientation (paper Section VI-A).
         probe_cost = (1 + WORDS_PER_LINE) * self._tag_latency
-        self._probe(WORDS_PER_LINE)
+        self._c_tag_probes.value += WORDS_PER_LINE
         completion, level = self._fill_line(preferred, now + probe_cost,
                                             AccessWidth.VECTOR)
-        return completion + self._cfg.data_latency, level
+        return completion + self._data_latency, level
 
     def _vector_write(self, req: Request, now: int) -> Tuple[int, int]:
         preferred = req.line_id
         probe_cost = (1 + WORDS_PER_LINE) * self._tag_latency
-        self._probe(1 + WORDS_PER_LINE)
+        self._c_tag_probes.value += 1 + WORDS_PER_LINE
         # All eight words become dirty, so every present intersecting
         # line is a duplicate that must go (Fig. 9).
         for perp in present_intersecting_lines(self._frames, preferred):
@@ -199,20 +226,31 @@ class Cache1P2L(CacheLevel):
         resident line is a hit here (an intersecting line can supply at
         most one of the eight words).
         """
-        self._stats.add("fetch_requests")
-        self._probe()
-        if self._touch_if_present(line_id):
-            return (self._data_ready(line_id, now) + self._hit_latency,
-                    self._level)
+        self._c_fetch_requests.value += 1
+        self._c_tag_probes.value += 1
+        if line_id in self._frames:
+            if self._same_set:
+                number = line_id >> 4
+            else:
+                number = (line_id >> 4) + (line_id & 7)
+            self._sets[number % self._num_sets].touch(line_id)
+            ready = self._ready_at.get(line_id)
+            if ready is not None:
+                if ready <= now:
+                    del self._ready_at[line_id]
+                else:
+                    self._c_early_hit_waits.value += 1
+                    return ready + self._hit_latency, self._level
+            return now + self._hit_latency, self._level
         completion, level = self._fill_line(
             line_id, now + self._tag_latency, width)
-        return completion + self._cfg.data_latency, level
+        return completion + self._data_latency, level
 
     def writeback_line(self, line_id: int, dirty_mask: int,
                        now: int) -> int:
         """Absorb a dirty line from above, preserving the invariant."""
-        self._stats.add("writebacks_in")
-        self._probe(2)
+        self._c_writebacks_in.value += 1
+        self._c_tag_probes.value += 2
         words = line_words(line_id)
         for offset in range(WORDS_PER_LINE):
             if not dirty_mask & (1 << offset):
@@ -240,7 +278,7 @@ class Cache1P2L(CacheLevel):
     def flush(self, now: int) -> None:
         for line_id, dirty in list(self._frames.items()):
             if dirty:
-                self._stats.add("writebacks_out")
+                self._c_writebacks_out.value += 1
                 self._lower.writeback_line(line_id, dirty, now)
         self._frames.clear()
         for repl in self._sets:
@@ -249,29 +287,37 @@ class Cache1P2L(CacheLevel):
 
     # -- internals ------------------------------------------------------------------------
 
-    @property
-    def _data_write_latency(self) -> int:
-        return self._cfg.data_latency + self._cfg.write_extra_latency
-
     def _set_number(self, line_id: int) -> int:
-        tile, _, index = line_id_parts(line_id)
         if self._same_set:
-            return tile
+            return line_id >> 4
         # Different-Set mapping (paper Fig. 8): the in-tile line index
         # participates in the set index, so the 8 rows / 8 columns of a
         # tile spread over different sets.  Adding (rather than
         # concatenating) the index keeps tile-id entropy in the low
-        # bits even when the cache has fewer than 8 sets.
-        return tile + index
+        # bits even when the cache has fewer than 8 sets.  (Line-id
+        # layout: tile << 4 | orientation << 3 | index.)
+        return (line_id >> 4) + (line_id & 7)
 
     def _touch_if_present(self, line_id: int) -> bool:
         if line_id not in self._frames:
             return False
-        self._touch(line_id)
+        if self._same_set:
+            number = line_id >> 4
+        else:
+            number = (line_id >> 4) + (line_id & 7)
+        self._sets[number % self._num_sets].touch(line_id)
         return True
 
+    def _set_of(self, line_id: int) -> object:
+        """The replacement set holding ``line_id`` (fused number+lookup)."""
+        if self._same_set:
+            number = line_id >> 4
+        else:
+            number = (line_id >> 4) + (line_id & 7)
+        return self._sets[number % self._num_sets]
+
     def _touch(self, line_id: int) -> None:
-        self._set_for(self._set_number(line_id)).touch(line_id)
+        self._set_of(line_id).touch(line_id)
 
     def _mark_dirty(self, line_id: int, mask: int) -> None:
         self._frames[line_id] |= mask
@@ -280,10 +326,23 @@ class Cache1P2L(CacheLevel):
                    width: AccessWidth) -> Tuple[int, int]:
         """Clean dirty intersections, fetch from below, and install."""
         self._clean_intersecting(line_id, now)
-        completion, level = self._fetch_below(line_id, now, width)
+        # Inlined _fetch_below (see base.CacheLevel): MSHR coalesce or
+        # fetch from the lower level and record the fill.
+        in_flight, aux = self._mshr_fetch_slot(
+            line_id, now, self._needs_ordering)
+        if in_flight is not None:
+            self._c_mshr_coalesced.value += 1
+            completion = in_flight if in_flight > now else now
+            level = aux
+        else:
+            completion, level = self._lower.fetch_line(line_id, aux,
+                                                       width)
+            self._mshr_record(line_id, completion, level)
+            self._c_fills.value += 1
         self._install(line_id, completion, dirty_mask=0)
-        self._note_ready(line_id, completion + self._cfg.data_latency,
-                         now)
+        ready = completion + self._data_latency
+        if ready > now:
+            self._ready_at[line_id] = ready
         return completion, level
 
     def _clean_intersecting(self, line_id: int, now: int) -> None:
@@ -292,16 +351,27 @@ class Cache1P2L(CacheLevel):
         Any perpendicular line dirty where it crosses ``line_id`` would
         make the incoming fill stale; its modifications are written back
         (the line stays resident, now clean) before the fill is issued.
+        A perpendicular line crosses ``line_id`` at the offset equal to
+        ``line_id``'s in-tile index, so one precomputed mask bit tests
+        dirtiness for all eight candidates.
         """
-        for perp in list(dirty_intersecting_lines(self._frames, line_id)):
-            mask = self._frames[perp]
-            self._lower.writeback_line(perp, mask, now)
-            self._frames[perp] = 0
-            self._stats.add("duplicate_cleans")
+        frames = self._frames
+        bit = 1 << (line_id & 7)
+        frames_get = frames.get
+        for perp in perpendicular_lines(line_id):
+            mask = frames_get(perp)
+            if mask and mask & bit:
+                self._lower.writeback_line(perp, mask, now)
+                frames[perp] = 0
+                self._c_duplicate_cleans.value += 1
 
     def _install(self, line_id: int, now: int, dirty_mask: int) -> None:
-        repl = self._set_for(self._set_number(line_id))
-        if len(repl) >= self._cfg.assoc:
+        if self._same_set:
+            number = line_id >> 4
+        else:
+            number = (line_id >> 4) + (line_id & 7)
+        repl = self._sets[number % self._num_sets]
+        if len(repl) >= self._assoc:
             victim = repl.victim()
             self._evict_line(victim, now, duplicate=False)
         self._frames[line_id] = dirty_mask
@@ -309,10 +379,17 @@ class Cache1P2L(CacheLevel):
 
     def _evict_line(self, line_id: int, now: int, duplicate: bool) -> None:
         mask = self._frames.pop(line_id)
-        self._set_for(self._set_number(line_id)).remove(line_id)
-        self._stats.add("duplicate_evictions" if duplicate else "evictions")
+        if self._same_set:
+            number = line_id >> 4
+        else:
+            number = (line_id >> 4) + (line_id & 7)
+        self._sets[number % self._num_sets].remove(line_id)
+        if duplicate:
+            self._c_duplicate_evictions.value += 1
+        else:
+            self._c_evictions.value += 1
         if mask:
-            self._stats.add("writebacks_out")
+            self._c_writebacks_out.value += 1
             self._lower.writeback_line(line_id, mask, now)
 
     # -- introspection ------------------------------------------------------------------------

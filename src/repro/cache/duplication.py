@@ -42,20 +42,27 @@ def copies_of_word(frames: Dict[int, int], line_id: int,
 def dirty_at_intersection(frames: Dict[int, int], line_id: int,
                           perpendicular: int) -> bool:
     """True if ``perpendicular`` is present and dirty where it crosses
-    ``line_id``."""
+    ``line_id``.
+
+    Along any oriented line, position ``k`` holds the word whose
+    perpendicular in-tile index is ``k``, so the crossing word's offset
+    within ``perpendicular`` is simply ``line_id``'s in-tile index.
+    """
     mask = frames.get(perpendicular)
     if not mask:
         return False
-    crossing_word = _crossing_word(line_id, perpendicular)
-    return bool(mask & (1 << line_word_offset(perpendicular, crossing_word)))
+    return bool(mask & (1 << (line_id & 7)))
 
 
 def dirty_intersecting_lines(frames: Dict[int, int],
                              line_id: int) -> Iterator[int]:
     """Present perpendicular lines dirty at their crossing with
     ``line_id`` — the lines that must be cleaned before filling it."""
+    bit = 1 << (line_id & 7)
+    frames_get = frames.get
     for perp in perpendicular_lines(line_id):
-        if dirty_at_intersection(frames, line_id, perp):
+        mask = frames_get(perp)
+        if mask and mask & bit:
             yield perp
 
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..common.stats import StatGroup
-from ..common.types import line_id_parts
 
 
 class MshrFile:
@@ -38,6 +37,10 @@ class MshrFile:
         # Lower bound on the earliest pending completion; lets the hot
         # paths skip scanning the file when nothing can have retired yet.
         self._earliest: Optional[int] = None
+        # Pre-bound counter cells for the per-miss path.
+        self._c_ordering_blocks = stats.counter("ordering_blocks")
+        self._c_full_stalls = stats.counter("full_stalls")
+        self._c_allocations = stats.counter("allocations")
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -78,17 +81,75 @@ class MshrFile:
         self.retire_completed(now)
         if not self._pending:
             return now
-        tile, orientation, _ = line_id_parts(line_id)
+        # Work on raw line-id bits: perpendicular-in-same-tile means the
+        # ids agree above the orientation bit and differ in it, i.e.
+        # (a ^ b) >> 3 == 1 (the in-tile index bits are ignored).
+        key = line_id >> 3
         barrier = now
         for other, (at, _) in self._pending.items():
             if other == line_id:
-                barrier = max(barrier, at)
+                if at > barrier:
+                    barrier = at
                 continue
-            other_tile, other_orient, _ = line_id_parts(other)
-            if other_tile == tile and other_orient is not orientation:
-                barrier = max(barrier, at)
+            if (other >> 3) ^ key == 1:
+                if at > barrier:
+                    barrier = at
                 self._stats.add("ordering_blocks")
         return barrier
+
+    def fetch_slot(self, line_id: int, now: int,
+                   ordered: bool) -> Tuple[Optional[int], int]:
+        """Coalesce with an in-flight fill or reserve a new entry.
+
+        The fused fast path of ``outstanding_fill`` + ``ordering_barrier``
+        + ``allocate``: one lazy-retire pass instead of three.  Returns
+        an in-flight ``(completion, level)`` when an outstanding fill to
+        the same line absorbs this request, or ``(None, issue)`` when
+        the caller must fetch below and :meth:`record` the completion.
+        Statistics match the three-call sequence exactly.
+        """
+        # Inlined retire_completed.  _earliest is maintained exactly,
+        # so the scan runs only when at least one entry really retires.
+        pending = self._pending
+        earliest_bound = self._earliest
+        if earliest_bound is not None and now >= earliest_bound \
+                and pending:
+            done = []
+            earliest_bound = None
+            for line, (at, _) in pending.items():
+                if at <= now:
+                    done.append(line)
+                elif earliest_bound is None or at < earliest_bound:
+                    earliest_bound = at
+            for line in done:
+                del pending[line]
+            self._earliest = earliest_bound
+        entry = pending.get(line_id)
+        if entry is not None:
+            return entry
+        issue = now
+        if ordered and pending:
+            # 2-D ordering barrier on raw line-id bits (see
+            # ordering_barrier); line_id itself cannot be pending here.
+            key = line_id >> 3
+            for other, (at, _) in pending.items():
+                if (other >> 3) ^ key == 1:
+                    if at > issue:
+                        issue = at
+                    self._c_ordering_blocks.value += 1
+            if issue > now:
+                self.retire_completed(issue)
+        while len(pending) >= self._capacity:
+            earliest = min(at for at, _ in pending.values())
+            if earliest > issue:
+                issue = earliest
+            self._c_full_stalls.value += 1
+            self.retire_completed(earliest)
+        pending[line_id] = (issue, 0)
+        if self._earliest is None or issue < self._earliest:
+            self._earliest = issue
+        self._c_allocations.value += 1
+        return None, issue
 
     def allocate(self, line_id: int, now: int) -> int:
         """Reserve an entry for a new fill; returns the issue time.

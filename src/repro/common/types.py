@@ -21,9 +21,10 @@ operation.
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Iterator, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 # -- Fixed geometry ---------------------------------------------------------
 #
@@ -249,6 +250,128 @@ def iter_line_addrs(line_id: int) -> Iterator[int]:
     """Byte addresses of each word of an oriented line, in order."""
     for word in line_words(line_id):
         yield word << _WORD_SHIFT
+
+
+# -- Packed trace encoding ---------------------------------------------------
+#
+# A trace is millions of requests, each of which fits comfortably in one
+# 64-bit word; storing them as ``array('Q')`` instead of a tuple of
+# frozen dataclasses cuts the memory footprint ~30x and lets the replay
+# loop (:meth:`repro.core.cpu.TraceDrivenCpu.run_packed`) decode fields
+# with two shifts and a mask instead of attribute lookups.
+#
+# Word layout (LSB first):
+#
+#   bits  0-15  ref_id        (static reference id, < 65536)
+#   bit     16  is_write
+#   bit     17  width         (0 scalar, 1 vector)
+#   bit     18  orientation   (0 row, 1 column)
+#   bits 19-63  word address  (addr >> 3; addresses are word-aligned)
+#
+# Keeping the address in the high bits makes the common decode —
+# ``word_id = w >> 19`` — a single shift.
+
+PACKED_REF_BITS = 16
+PACKED_REF_LIMIT = 1 << PACKED_REF_BITS
+_PACKED_ADDR_SHIFT = 3 + PACKED_REF_BITS  # 19
+#: Largest encodable byte address (45 address bits above the word shift).
+PACKED_ADDR_LIMIT = 1 << (64 - _PACKED_ADDR_SHIFT + _WORD_SHIFT)
+
+_WIDTH_MEMBERS = (AccessWidth.SCALAR, AccessWidth.VECTOR)
+
+
+def pack_request(req: Request) -> int:
+    """Encode a request into its 64-bit packed-trace word.
+
+    Raises:
+        ValueError: address not word-aligned / out of range, or ref_id
+            outside the 16-bit field.
+    """
+    addr = req.addr
+    if addr & 7 or not 0 <= addr < PACKED_ADDR_LIMIT:
+        raise ValueError(
+            f"address {addr:#x} not packable (word-aligned, "
+            f"< {PACKED_ADDR_LIMIT:#x})")
+    ref_id = req.ref_id
+    if not 0 <= ref_id < PACKED_REF_LIMIT:
+        raise ValueError(
+            f"ref_id {ref_id} does not fit in {PACKED_REF_BITS} bits")
+    return ((addr >> _WORD_SHIFT) << _PACKED_ADDR_SHIFT) \
+        | (req.orientation << 18) | (req.width << 17) \
+        | (bool(req.is_write) << 16) | ref_id
+
+
+def unpack_request(word: int) -> Request:
+    """Decode one packed-trace word back into a :class:`Request`."""
+    return Request(
+        addr=(word >> _PACKED_ADDR_SHIFT) << _WORD_SHIFT,
+        orientation=_ORIENT_MEMBERS[(word >> 18) & 1],
+        width=_WIDTH_MEMBERS[(word >> 17) & 1],
+        is_write=bool(word & (1 << 16)),
+        ref_id=word & (PACKED_REF_LIMIT - 1))
+
+
+class PackedTrace:
+    """A request trace stored one 64-bit word per request.
+
+    The payload lives in a single ``array('Q')`` buffer (``words``), so
+    a materialized trace is a flat memory block: cheap to keep resident,
+    to share copy-on-write across forked workers, and to write to / read
+    from the binary trace store as raw bytes.  Iterating decodes to
+    :class:`Request` objects for compatibility with the object path;
+    the fast path hands ``words`` straight to the replay loop.
+    """
+
+    __slots__ = ("words",)
+
+    def __init__(self, words: Optional[array] = None) -> None:
+        if words is None:
+            words = array("Q")
+        elif words.typecode != "Q":
+            raise ValueError(
+                f"PackedTrace needs array('Q'), got {words.typecode!r}")
+        self.words = words
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[Request]) -> "PackedTrace":
+        return cls(array("Q", map(pack_request, requests)))
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "PackedTrace":
+        """Rebuild from :meth:`to_bytes` output (little-endian words)."""
+        words = array("Q")
+        words.frombytes(payload)
+        if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts
+            words.byteswap()
+        return cls(words)
+
+    def to_bytes(self) -> bytes:
+        """The payload as little-endian bytes (platform-independent)."""
+        if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts
+            swapped = array("Q", self.words)
+            swapped.byteswap()
+            return swapped.tobytes()
+        return self.words.tobytes()
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __iter__(self) -> Iterator[Request]:
+        return map(unpack_request, self.words)
+
+    def __getitem__(self, index: int) -> Request:
+        return unpack_request(self.words[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedTrace):
+            return NotImplemented
+        return self.words == other.words
+
+    def __repr__(self) -> str:
+        return f"PackedTrace({len(self.words)} requests)"
+
+
+_BIG_ENDIAN = array("Q", [1]).tobytes()[0] == 0
 
 
 @dataclass(slots=True)

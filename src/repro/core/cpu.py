@@ -27,10 +27,53 @@ from typing import Callable, Iterable, List, Optional
 from ..cache.hierarchy import CacheHierarchy
 from ..common.config import CpuConfig
 from ..common.stats import StatRegistry
-from ..common.types import Request
+from ..common.types import (
+    AccessWidth,
+    Orientation,
+    PackedTrace,
+    Request,
+    line_words,
+)
 
 #: Callback invoked as sampler(ops_retired, now_cycles).
 Sampler = Callable[[int, int], None]
+
+_ORIENTS = (Orientation.ROW, Orientation.COLUMN)
+_WIDTHS = (AccessWidth.SCALAR, AccessWidth.VECTOR)
+_BOOLS = (False, True)
+
+
+class _PackedRequestView:
+    """Reusable request stand-in for the packed replay loop.
+
+    Presents the exact attribute surface the cache levels read from a
+    :class:`Request` (addr, orientation, width, is_write, ref_id,
+    line_id, word_id, words()), but as one mutable object rewritten per
+    trace word, so replay allocates nothing per request.  Safe because
+    no cache level retains the request beyond the ``access`` call; the
+    orientation/width fields hold the real enum members the caches
+    compare with ``is``.
+
+    ``addr`` and ``word_id`` are read only on the scalar access paths,
+    so they decode lazily from the raw trace word instead of costing a
+    store per replayed request.
+    """
+
+    __slots__ = ("raw", "orientation", "width", "is_write", "ref_id",
+                 "line_id")
+
+    @property
+    def word_id(self):
+        return self.raw >> 19
+
+    @property
+    def addr(self):
+        return (self.raw >> 19) << 3
+
+    def words(self):
+        if self.width is AccessWidth.SCALAR:
+            return (self.word_id,)
+        return line_words(self.line_id)
 
 
 class TraceDrivenCpu:
@@ -45,7 +88,14 @@ class TraceDrivenCpu:
     def run(self, trace: Iterable[Request],
             sampler: Optional[Sampler] = None,
             sample_every: int = 0) -> int:
-        """Execute a trace; returns total cycles including drain."""
+        """Execute a trace; returns total cycles including drain.
+
+        A :class:`PackedTrace` is dispatched to :meth:`run_packed`
+        (bit-identical statistics, no per-request objects); any other
+        iterable takes the object path below.
+        """
+        if isinstance(trace, PackedTrace):
+            return self.run_packed(trace, sampler, sample_every)
         now = 0
         ops = 0
         window: List[int] = []  # outstanding read completions (heap)
@@ -79,6 +129,79 @@ class TraceDrivenCpu:
             if sampling and ops % sample_every == 0:
                 sampler(ops, now)
         # Retire everything still in flight and drain posted writes.
+        while window:
+            now = max(now, heapq.heappop(window))
+        now = max(now, self._hierarchy.finish(now))
+        self._stats.set("ops", ops)
+        self._stats.set("cycles", now)
+        self._stats.set("stall_cycles", stalled)
+        return now
+
+    def run_packed(self, trace: PackedTrace,
+                   sampler: Optional[Sampler] = None,
+                   sample_every: int = 0) -> int:
+        """Execute a packed trace; bit-identical to :meth:`run`.
+
+        The specialized loop decodes each 64-bit trace word inline into
+        one reused :class:`_PackedRequestView` — no per-request object
+        allocation, no ``line_id`` property recomputation — and drives
+        the same window/stall model as the object path.
+        """
+        now = 0
+        ops = 0
+        window: List[int] = []  # outstanding read completions (heap)
+        window_size = self._config.mlp_window
+        issue_cost = self._config.cycles_per_op
+        l1_cfg = self._hierarchy.l1.config
+        pipelined = l1_cfg.hit_latency + 3 * l1_cfg.tag_latency
+        stalled = 0
+        access = self._hierarchy.l1.access
+        misses_tracked = self._stats.counter("read_misses_tracked")
+        heappush, heappop = heapq.heappush, heapq.heappop
+        sampling = sampler is not None and sample_every > 0
+        view = _PackedRequestView()
+        orients, widths, bools = _ORIENTS, _WIDTHS, _BOOLS
+        # Traces are long runs of requests from the same static
+        # reference, so the metadata bits (ref_id + flags, the low 19
+        # bits) rarely change; decode them only when they do and keep
+        # the derived values live across the run.
+        last_meta = -1
+        orient_bits = 0   # orientation bit positioned for the line id
+        index_shift = 22  # shift extracting the in-tile line index
+        is_write = False
+        for w in trace.words:
+            # Decode (see common.types packed layout).  The line id is
+            # precomputed here so the caches' line_id reads are plain
+            # attribute loads instead of property calls.
+            meta = w & 0x7FFFF
+            if meta != last_meta:
+                last_meta = meta
+                orient = (meta >> 18) & 1
+                orient_bits = orient << 3
+                # Row lines index by the in-tile row (bits 22-24 of w),
+                # column lines by the in-tile column (bits 19-21).
+                index_shift = 19 if orient else 22
+                is_write = bools[(meta >> 16) & 1]
+                view.orientation = orients[orient]
+                view.width = widths[(meta >> 17) & 1]
+                view.is_write = is_write
+                view.ref_id = meta & 0xFFFF
+            view.raw = w
+            view.line_id = ((w >> 25) << 4) | orient_bits \
+                | ((w >> index_shift) & 7)
+            now += issue_cost
+            result = access(view, now)
+            ops += 1
+            if result.latency > pipelined and not is_write:
+                heappush(window, now + result.latency)
+                misses_tracked.value += 1
+                while len(window) > window_size:
+                    earliest = heappop(window)
+                    if earliest > now:
+                        stalled += earliest - now
+                        now = earliest
+            if sampling and ops % sample_every == 0:
+                sampler(ops, now)
         while window:
             now = max(now, heapq.heappop(window))
         now = max(now, self._hierarchy.finish(now))

@@ -16,10 +16,11 @@ from typing import Dict, List, Optional, Tuple
 from ..cache.hierarchy import CacheHierarchy
 from ..common.config import SystemConfig
 from ..common.stats import StatRegistry
-from ..common.types import Request
+from ..common.types import PackedTrace
 from ..sw.layout import Layout, make_layout
 from ..sw.program import Program
-from ..sw.tracegen import generate_trace
+from ..sw.tracegen import generate_packed_trace, generate_trace
+from ..sw.tracestore import TraceStore
 from ..workloads.registry import build_workload
 from .cpu import TraceDrivenCpu
 
@@ -27,22 +28,62 @@ from .cpu import TraceDrivenCpu
 #
 # A trace is a pure function of (workload, size, logical_dims) when the
 # layout is the protocol default, yet every design point sharing those
-# three re-walked the kernel IR from scratch.  Materializing the request
-# tuple once and replaying it across designs removes the whole compile +
+# three re-walked the kernel IR from scratch.  Materializing the packed
+# trace once and replaying it across designs removes the whole compile +
 # walk cost from all but the first run of each (workload, size, dims).
+#
+# Three tiers, fastest first:
+#   1. in-process memo (this OrderedDict; shared copy-on-write with
+#      forked pool workers when the parent materializes before forking);
+#   2. the persistent trace store, when one has been configured
+#      (``OUTDIR/.tracecache``) — a disk read instead of a kernel walk;
+#   3. trace generation proper, which also populates the store.
 
 _TraceKey = Tuple[str, str, int]
-_TRACE_CACHE: "OrderedDict[_TraceKey, Tuple[str, Tuple[Request, ...]]]" = \
+_TRACE_CACHE: "OrderedDict[_TraceKey, Tuple[str, PackedTrace]]" = \
     OrderedDict()
-_TRACE_CACHE_MAX = 8
+_TRACE_CACHE_MAX = 16
+_TRACE_STORE: Optional[TraceStore] = None
 _trace_cache_hits = 0
 _trace_cache_misses = 0
+_trace_store_hits = 0
+_trace_store_misses = 0
+_traces_generated = 0
+
+
+def configure_trace_store(root: Optional[str]) -> Optional[TraceStore]:
+    """Attach (or detach, with ``None``) the persistent trace store.
+
+    Returns the active store.  The store is process-global because the
+    materialization memo it backs is too; forked pool workers inherit
+    the configuration.
+    """
+    global _TRACE_STORE
+    _TRACE_STORE = TraceStore(root) if root else None
+    return _TRACE_STORE
+
+
+def trace_store() -> Optional[TraceStore]:
+    """The currently configured persistent trace store, if any."""
+    return _TRACE_STORE
+
+
+def ensure_trace(workload: str, size: str,
+                 logical_dims: int) -> Tuple[str, PackedTrace]:
+    """Materialize (memo -> store -> generate) one default-layout trace.
+
+    The scheduler calls this in the parent process for every distinct
+    trace a run plan needs before forking workers, so the whole process
+    tree generates each trace at most once.
+    """
+    return _materialized_trace(workload, size, logical_dims)
 
 
 def _materialized_trace(workload: str, size: str,
-                        logical_dims: int) -> Tuple[str, Tuple[Request, ...]]:
-    """(program name, realized trace) for a default-layout workload."""
+                        logical_dims: int) -> Tuple[str, PackedTrace]:
+    """(program name, packed trace) for a default-layout workload."""
     global _trace_cache_hits, _trace_cache_misses
+    global _trace_store_hits, _trace_store_misses, _traces_generated
     key = (workload, size, logical_dims)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
@@ -50,27 +91,63 @@ def _materialized_trace(workload: str, size: str,
         _TRACE_CACHE.move_to_end(key)
         return cached
     _trace_cache_misses += 1
-    program = build_workload(workload, size)
-    layout = make_layout(program.arrays, logical_dims)
-    trace = tuple(generate_trace(program, logical_dims, layout))
-    _TRACE_CACHE[key] = (program.name, trace)
+    entry = None
+    if _TRACE_STORE is not None:
+        entry = _TRACE_STORE.load(workload, size, logical_dims)
+        if entry is not None:
+            _trace_store_hits += 1
+        else:
+            _trace_store_misses += 1
+    if entry is None:
+        program = build_workload(workload, size)
+        layout = make_layout(program.arrays, logical_dims)
+        trace = generate_packed_trace(program, logical_dims, layout)
+        _traces_generated += 1
+        entry = (program.name, trace)
+        if _TRACE_STORE is not None:
+            _TRACE_STORE.store(workload, size, logical_dims,
+                               program.name, trace)
+    _TRACE_CACHE[key] = entry
     while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
         _TRACE_CACHE.popitem(last=False)
-    return _TRACE_CACHE[key]
+    return entry
 
 
 def clear_trace_cache() -> None:
     """Drop all materialized traces (tests and benchmarks)."""
-    global _trace_cache_hits, _trace_cache_misses
     _TRACE_CACHE.clear()
+    reset_trace_counters()
+
+
+def reset_trace_counters() -> None:
+    """Zero the trace-cache counters without dropping the memo.
+
+    Forked pool workers call this as their initializer so the
+    snapshots they report count activity since the fork rather than
+    counter values inherited from the parent.
+    """
+    global _trace_cache_hits, _trace_cache_misses
+    global _trace_store_hits, _trace_store_misses, _traces_generated
     _trace_cache_hits = 0
     _trace_cache_misses = 0
+    _trace_store_hits = 0
+    _trace_store_misses = 0
+    _traces_generated = 0
 
 
 def trace_cache_info() -> Dict[str, int]:
-    """Hit/miss/entry counts of the trace materialization cache."""
+    """Hit/miss/entry counts of the trace materialization tiers.
+
+    ``hits``/``misses``/``entries`` describe the in-process memo;
+    ``store_hits``/``store_misses`` the persistent trace store (both 0
+    when no store is configured); ``generated`` counts actual kernel
+    walks performed by this process.
+    """
     return {"hits": _trace_cache_hits, "misses": _trace_cache_misses,
-            "entries": len(_TRACE_CACHE)}
+            "entries": len(_TRACE_CACHE),
+            "store_hits": _trace_store_hits,
+            "store_misses": _trace_store_misses,
+            "generated": _traces_generated}
 
 
 @dataclass

@@ -19,6 +19,8 @@ import os
 import sys
 from typing import Callable, Dict, Iterable, List, Optional
 
+from ..core.simulator import trace_cache_info
+from ..sw.tracestore import TRACECACHE_DIRNAME
 from ..workloads.registry import workload_names
 from . import fig11, fig12, fig13, fig15, fig16, fig17
 from .runner import RUNCACHE_DIRNAME, ExperimentRunner, RunKey
@@ -164,8 +166,17 @@ def runner_from_args(args: argparse.Namespace,
     """An :class:`ExperimentRunner` configured by the shared flags."""
     cache_dir = None if args.no_cache else \
         os.path.join(args.outdir, RUNCACHE_DIRNAME)
+    trace_dir = None if args.no_cache else \
+        os.path.join(args.outdir, TRACECACHE_DIRNAME)
     return ExperimentRunner(verbose=verbose, jobs=args.jobs,
-                            cache_dir=cache_dir, refresh=args.refresh)
+                            cache_dir=cache_dir, refresh=args.refresh,
+                            trace_dir=trace_dir)
+
+
+def describe_trace_info(info: Dict[str, int]) -> str:
+    """One-line summary of :func:`trace_cache_info` counters."""
+    return (f"{info['hits']} memo hits, {info['store_hits']} store "
+            f"hits, {info['generated']} generated")
 
 
 def figure_runner(name: str,
@@ -189,5 +200,8 @@ def figure_runner(name: str,
         info = runner.cache_info()
         if info.requests:
             print(f"  [{name}] run cache: {info.describe()}",
+                  file=sys.stderr)
+            print(f"  [{name}] trace cache: "
+                  f"{describe_trace_info(trace_cache_info())}",
                   file=sys.stderr)
     return runner

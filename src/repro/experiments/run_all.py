@@ -34,7 +34,9 @@ from .fig17 import run_fig17
 from .future_tiling import run_future_tiling
 from .layout_mismatch import run_layout_mismatch
 from .multiprogram import run_multiprogram
-from .plans import plan_for
+from ..core.simulator import trace_cache_info
+from ..sw.tracestore import TRACECACHE_DIRNAME
+from .plans import describe_trace_info, plan_for
 from .runner import RUNCACHE_DIRNAME, ExperimentRunner
 from .table1 import run_table1
 
@@ -108,8 +110,11 @@ def run_all(outdir: str = "results",
     os.makedirs(outdir, exist_ok=True)
     cache_dir = os.path.join(outdir, RUNCACHE_DIRNAME) if use_cache \
         else None
+    trace_dir = os.path.join(outdir, TRACECACHE_DIRNAME) if use_cache \
+        else None
     runner = ExperimentRunner(verbose=verbose, jobs=jobs,
-                              cache_dir=cache_dir, refresh=refresh)
+                              cache_dir=cache_dir, refresh=refresh,
+                              trace_dir=trace_dir)
     experiments = _experiments(runner)
     selected = [name for name in experiments
                 if not only or name in only]
@@ -138,6 +143,9 @@ def run_all(outdir: str = "results",
     if verbose:
         info = runner.cache_info()
         print(f"== run cache: {info.describe()} ==", file=sys.stderr)
+        print(f"== trace cache: "
+              f"{describe_trace_info(trace_cache_info())} ==",
+              file=sys.stderr)
     with open(os.path.join(outdir, "summary.json"), "w") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     return summary

@@ -32,8 +32,16 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..common.config import MemoryConfig, SystemConfig
-from ..core.simulator import RunResult, run_simulation
+from ..core.simulator import (
+    RunResult,
+    configure_trace_store,
+    ensure_trace,
+    reset_trace_counters,
+    run_simulation,
+    trace_cache_info,
+)
 from ..core.system import make_resident_system, make_system
+from ..sw.tracestore import TRACECACHE_DIRNAME  # noqa: F401 (re-export)
 
 #: Paper Fig. 17 evaluates a 1.6x faster main memory.
 FAST_MEMORY_FACTOR = 1.6
@@ -198,11 +206,29 @@ class CacheInfo:
                 f"hits, {self.misses} simulated")
 
 
-def _pool_entry(key: RunKey) -> Tuple[RunKey, RunResult, float]:
-    """Worker-side wrapper: simulate one key, report its wall time."""
+def trace_key_for(key: RunKey) -> Tuple[str, str, int]:
+    """The ``(workload, size, logical_dims)`` trace identity of a key.
+
+    Every design point sharing this triple replays the same packed
+    trace; the scheduler materializes each distinct triple once in the
+    parent before forking workers.
+    """
+    return key.workload, key.size, system_for_key(key).logical_dims
+
+
+def _pool_entry(
+        key: RunKey) -> Tuple[RunKey, RunResult, float, int,
+                              Dict[str, int]]:
+    """Worker-side wrapper: simulate one key, report its wall time.
+
+    Also reports the worker's pid and its cumulative trace-cache
+    counters, so the parent can verify that forked workers replayed
+    inherited traces instead of regenerating them.
+    """
     started = time.time()
     result = simulate_run_key(key)
-    return key, result, time.time() - started
+    return (key, result, time.time() - started, os.getpid(),
+            trace_cache_info())
 
 
 class ExperimentRunner:
@@ -215,17 +241,26 @@ class ExperimentRunner:
             (the default) keeps the runner purely in-memory.
         refresh: ignore existing persistent entries (they are
             overwritten with freshly simulated results).
+        trace_dir: directory of the persistent packed-trace store;
+            ``None`` leaves the process-global store configuration
+            untouched.
     """
 
     def __init__(self, verbose: bool = False, jobs: int = 1,
                  cache_dir: Optional[str] = None,
-                 refresh: bool = False) -> None:
+                 refresh: bool = False,
+                 trace_dir: Optional[str] = None) -> None:
         self._cache: Dict[RunKey, RunResult] = {}
         self._verbose = verbose
         self._jobs = max(1, int(jobs))
         self._disk = RunCache(cache_dir) if cache_dir else None
         self._refresh = refresh
         self._info = CacheInfo()
+        # Cumulative trace-cache counters per worker pid (last snapshot
+        # wins; snapshots are monotone within one worker's lifetime).
+        self._worker_traces: Dict[int, Dict[str, int]] = {}
+        if trace_dir is not None:
+            configure_trace_store(trace_dir)
 
     # -- running -------------------------------------------------------------
 
@@ -285,6 +320,13 @@ class ExperimentRunner:
                 self._log(key, result, seconds=time.time() - started)
                 self._store(key, result)
             return len(pending)
+        # Materialize every distinct trace the pending points replay in
+        # the parent *before* forking, so workers inherit the packed
+        # buffers copy-on-write and the process tree generates each
+        # (workload, size, dims) trace at most once.
+        for workload, size, dims in dict.fromkeys(
+                trace_key_for(key) for key in pending):
+            ensure_trace(workload, size, dims)
         # POSIX fork keeps workers importable regardless of how the
         # parent was launched (pytest, -m, REPL); fall back otherwise.
         try:
@@ -295,9 +337,13 @@ class ExperimentRunner:
         if self._verbose:
             print(f"  scheduling {len(pending)} simulation points over "
                   f"{workers} workers", file=sys.stderr)
-        with ctx.Pool(processes=workers) as pool:
-            for key, result, seconds in pool.imap_unordered(
-                    _pool_entry, pending):
+        # Workers zero their (inherited) trace counters at fork, so the
+        # snapshots they report count post-fork activity only.
+        with ctx.Pool(processes=workers,
+                      initializer=reset_trace_counters) as pool:
+            for key, result, seconds, pid, traces in \
+                    pool.imap_unordered(_pool_entry, pending):
+                self._worker_traces[pid] = traces
                 self._log(key, result, seconds=seconds)
                 self._store(key, result)
         return len(pending)
@@ -318,6 +364,16 @@ class ExperimentRunner:
     def cache_info(self) -> CacheInfo:
         """A snapshot of the hit/miss accounting so far."""
         return dataclasses.replace(self._info)
+
+    def worker_trace_info(self) -> Dict[int, Dict[str, int]]:
+        """Last trace-cache snapshot reported by each pool worker pid.
+
+        A cold parallel sweep whose traces were pre-materialized shows
+        ``generated == 0`` in every snapshot: workers replayed the
+        inherited buffers rather than re-walking kernels.
+        """
+        return {pid: dict(info)
+                for pid, info in self._worker_traces.items()}
 
     @property
     def runs_completed(self) -> int:

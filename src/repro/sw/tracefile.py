@@ -1,8 +1,8 @@
-"""Trace file I/O.
+"""Trace file I/O: the text v1 format and the packed binary format.
 
-A simple line-oriented text format so traces can be generated once,
-inspected with standard tools, filtered, or produced by external
-tracers and replayed through the simulator:
+The text format is a simple line-oriented encoding so traces can be
+generated once, inspected with standard tools, filtered, or produced by
+external tracers and replayed through the simulator:
 
 .. code-block:: text
 
@@ -14,16 +14,42 @@ Fields: operation (``R``/``W``), orientation (``r``/``c``), width
 (``s``/``v``), hex byte address, decimal reference id.  Lines starting
 with ``#`` are comments.  The format is deliberately trivial — the
 point is interoperability, not density.
+
+The packed binary format is the density counterpart — the on-disk form
+of :class:`~repro.common.types.PackedTrace` used by the persistent
+trace store and the ``repro trace pack`` / ``repro trace cat``
+commands:
+
+.. code-block:: text
+
+    magic   8 bytes   b"MDATRACE"
+    version u32 LE    packed format version (currently 1)
+    namelen u32 LE    length of the trace-name field
+    name    namelen   UTF-8 trace name
+    count   u64 LE    number of requests
+    payload count*8   one little-endian u64 per request
+                      (bit layout: see common.types)
 """
 
 from __future__ import annotations
 
-from typing import IO, Iterable, Iterator, Union
+import struct
+from typing import IO, Iterable, Iterator, Tuple, Union
 
 from ..common.errors import ProgramError
-from ..common.types import AccessWidth, Orientation, Request
+from ..common.types import (
+    AccessWidth,
+    Orientation,
+    PackedTrace,
+    Request,
+)
 
 HEADER = "# mdacache-trace v1"
+
+PACKED_MAGIC = b"MDATRACE"
+PACKED_VERSION = 1
+_PACKED_HEAD = struct.Struct("<II")   # version, name length
+_PACKED_COUNT = struct.Struct("<Q")
 
 _OP = {False: "R", True: "W"}
 _ORIENT = {Orientation.ROW: "r", Orientation.COLUMN: "c"}
@@ -99,3 +125,62 @@ def read_trace(source: Union[str, IO[str]]) -> Iterator[Request]:
         if not line or line.startswith("#"):
             continue
         yield parse_request(line)
+
+
+# -- Packed binary format -----------------------------------------------------
+
+def write_packed_trace(trace: PackedTrace,
+                       destination: Union[str, IO[bytes]],
+                       name: str = "trace") -> int:
+    """Write a packed trace file; returns the number of requests."""
+    if isinstance(destination, str):
+        with open(destination, "wb") as handle:
+            return write_packed_trace(trace, handle, name)
+    encoded = name.encode("utf-8")
+    destination.write(PACKED_MAGIC)
+    destination.write(_PACKED_HEAD.pack(PACKED_VERSION, len(encoded)))
+    destination.write(encoded)
+    destination.write(_PACKED_COUNT.pack(len(trace)))
+    destination.write(trace.to_bytes())
+    return len(trace)
+
+
+def read_packed_trace(
+        source: Union[str, IO[bytes]]) -> Tuple[str, PackedTrace]:
+    """Read a packed trace file; returns ``(name, trace)``.
+
+    Raises:
+        ProgramError: bad magic, unsupported version, or a truncated
+            header/payload.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            return read_packed_trace(handle)
+    magic = source.read(len(PACKED_MAGIC))
+    if magic != PACKED_MAGIC:
+        raise ProgramError(
+            f"not a packed mdacache trace (magic {magic!r})")
+    head = source.read(_PACKED_HEAD.size)
+    if len(head) != _PACKED_HEAD.size:
+        raise ProgramError("truncated packed trace header")
+    version, name_len = _PACKED_HEAD.unpack(head)
+    if version != PACKED_VERSION:
+        raise ProgramError(
+            f"unsupported packed trace version {version} "
+            f"(expected {PACKED_VERSION})")
+    name_bytes = source.read(name_len)
+    count_bytes = source.read(_PACKED_COUNT.size)
+    if len(name_bytes) != name_len \
+            or len(count_bytes) != _PACKED_COUNT.size:
+        raise ProgramError("truncated packed trace header")
+    (count,) = _PACKED_COUNT.unpack(count_bytes)
+    payload = source.read(8 * count)
+    if len(payload) != 8 * count:
+        raise ProgramError(
+            f"truncated packed trace payload (expected {count} "
+            f"requests, got {len(payload) // 8})")
+    try:
+        trace_name = name_bytes.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProgramError("corrupt packed trace name") from None
+    return trace_name, PackedTrace.from_bytes(payload)

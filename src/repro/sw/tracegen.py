@@ -17,7 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-from ..common.types import AccessWidth, Orientation, Request, line_id_of
+from ..common.types import (
+    AccessWidth,
+    Orientation,
+    PackedTrace,
+    Request,
+    line_id_of,
+)
 from .layout import Layout, make_layout
 from .program import Program
 from .vectorizer import (
@@ -42,6 +48,18 @@ def generate_trace(program: Program, logical_dims: int = 2,
     if layout is None:
         layout = make_layout(program.arrays, logical_dims)
     return trace_compiled(compiled, layout)
+
+
+def generate_packed_trace(program: Program, logical_dims: int = 2,
+                          layout: Optional[Layout] = None) -> PackedTrace:
+    """Like :func:`generate_trace`, materialized into a packed buffer.
+
+    This is the trace representation the simulator replays and the
+    trace store persists: one 64-bit word per request, generated in a
+    single pass over the kernel walk.
+    """
+    return PackedTrace.from_requests(
+        generate_trace(program, logical_dims, layout))
 
 
 def trace_compiled(compiled: CompiledProgram,

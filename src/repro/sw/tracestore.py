@@ -1,0 +1,95 @@
+"""Persistent on-disk store of packed traces.
+
+A trace is a pure function of ``(workload, size, logical_dims)`` under
+the protocol-default layout, so once generated it can be reused by
+every design point, every process, and every future invocation.  The
+store mirrors the run cache's durability contract
+(:class:`repro.experiments.runner.RunCache`):
+
+* entries are written atomically (temp file + ``os.replace``) so a
+  crashed or concurrent writer can never leave a half-written entry
+  visible;
+* a corrupt, truncated, or version-mismatched entry reads as a miss,
+  never as an error — the trace is simply regenerated and rewritten;
+* the payload is the packed binary trace format of
+  :mod:`repro.sw.tracefile`, so every store entry is also a valid input
+  to ``repro trace cat`` / ``repro trace run``.
+
+The store lives under ``OUTDIR/.tracecache`` next to the run cache's
+``OUTDIR/.runcache``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from ..common.errors import ProgramError
+from ..common.types import PackedTrace
+from .tracefile import read_packed_trace, write_packed_trace
+
+#: Default location of the trace store, relative to an experiment
+#: output directory.
+TRACECACHE_DIRNAME = ".tracecache"
+
+#: Bump when the trace contents would change for the same key (packed
+#: word layout, trace generation semantics); old entries become misses.
+TRACE_STORE_VERSION = 1
+
+
+class TraceStore:
+    """Versioned directory of packed trace files."""
+
+    def __init__(self, root: str) -> None:
+        self._root = root
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def path_for(self, workload: str, size: str,
+                 logical_dims: int) -> str:
+        filename = (f"{workload}-{size}-{logical_dims}d"
+                    f".v{TRACE_STORE_VERSION}.mdat")
+        return os.path.join(self._root, filename)
+
+    def load(self, workload: str, size: str,
+             logical_dims: int) -> Optional[Tuple[str, PackedTrace]]:
+        """``(program name, trace)``, or ``None`` on any miss."""
+        path = self.path_for(workload, size, logical_dims)
+        try:
+            return read_packed_trace(path)
+        except (OSError, ProgramError, ValueError):
+            return None
+
+    def store(self, workload: str, size: str, logical_dims: int,
+              name: str, trace: PackedTrace) -> None:
+        os.makedirs(self._root, exist_ok=True)
+        path = self.path_for(workload, size, logical_dims)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            write_packed_trace(trace, tmp, name=name)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full store is a cache, not a requirement.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete every store entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self._root):
+            return removed
+        for entry in os.listdir(self._root):
+            if entry.endswith(".mdat"):
+                os.remove(os.path.join(self._root, entry))
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self._root):
+            return 0
+        return sum(1 for entry in os.listdir(self._root)
+                   if entry.endswith(".mdat"))

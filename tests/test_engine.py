@@ -18,6 +18,7 @@ import pytest
 from repro.common.config import CacheLevelConfig, MemoryConfig
 from repro.core.simulator import (
     clear_trace_cache,
+    configure_trace_store,
     run_simulation,
     trace_cache_info,
 )
@@ -32,7 +33,9 @@ from repro.experiments.runner import (
     config_fingerprint,
     simulate_run_key,
     system_for_key,
+    trace_key_for,
 )
+from repro.sw.tracestore import TraceStore
 
 GRID = tuple(RunKey(design, workload, "small", 1.0, False, "default", 0)
              for design in ("1P1L", "1P2L")
@@ -275,7 +278,9 @@ class TestTraceCache:
         assert info["hits"] == 1
         clear_trace_cache()
         assert trace_cache_info() == {"hits": 0, "misses": 0,
-                                      "entries": 0}
+                                      "entries": 0, "store_hits": 0,
+                                      "store_misses": 0,
+                                      "generated": 0}
 
     def test_explicit_layout_bypasses_cache(self):
         from repro.sw.layout import make_layout
@@ -296,6 +301,61 @@ class TestTraceCache:
         assert trace_cache_info()["hits"] == 1
         assert first.cycles == second.cycles
         assert first.stats.flat() == second.stats.flat()
+
+
+class TestTraceProcessTree:
+    """A parallel sweep generates each trace at most once per tree."""
+
+    def teardown_method(self):
+        configure_trace_store(None)
+        clear_trace_cache()
+
+    def test_cold_parallel_sweep_generates_each_trace_once(self, tmp_path):
+        clear_trace_cache()
+        trace_dir = str(tmp_path / ".tracecache")
+        runner = ExperimentRunner(jobs=2, trace_dir=trace_dir)
+        distinct = len(dict.fromkeys(trace_key_for(key)
+                                     for key in GRID))
+        assert runner.prefetch(GRID) == len(GRID)
+
+        # The parent materialized every distinct (workload, size, dims)
+        # trace exactly once, before forking: each was a store miss
+        # (cold store) followed by a kernel walk.
+        parent = trace_cache_info()
+        assert parent["generated"] == distinct
+        assert parent["store_misses"] == distinct
+        assert parent["store_hits"] == 0
+        # ... and persisted each to the store.
+        assert len(TraceStore(trace_dir)) == distinct
+
+        # Forked workers inherited the packed buffers copy-on-write:
+        # every replay was a memo hit — no worker regenerated or even
+        # re-read a trace from disk.
+        snapshots = runner.worker_trace_info()
+        assert snapshots, "pool workers reported no trace snapshots"
+        for info in snapshots.values():
+            assert info["generated"] == 0
+            assert info["store_hits"] == 0
+            assert info["store_misses"] == 0
+            assert info["hits"] >= 1
+
+    def test_warm_store_serves_new_process_tree(self, tmp_path):
+        trace_dir = str(tmp_path / ".tracecache")
+        clear_trace_cache()
+        first = ExperimentRunner(jobs=2, trace_dir=trace_dir)
+        first.prefetch(GRID)
+        distinct = len(dict.fromkeys(trace_key_for(key)
+                                     for key in GRID))
+
+        # A later cold process (fresh memo, warm store) loads every
+        # trace from disk instead of walking kernels again.
+        clear_trace_cache()
+        second = ExperimentRunner(jobs=2, trace_dir=trace_dir,
+                                  cache_dir=None)
+        assert second.prefetch(GRID) == len(GRID)
+        info = trace_cache_info()
+        assert info["generated"] == 0
+        assert info["store_hits"] == distinct
 
 
 class TestMemoryVariants:
