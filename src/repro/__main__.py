@@ -9,6 +9,12 @@ Commands:
 * ``trace``      — generate a trace file from a workload, replay a
   trace file (text or packed binary) through a design, or convert
   between the two formats (``pack`` / ``cat``).
+* ``journal``    — inspect a sweep's lifecycle journal
+  (``OUTDIR/.runjournal/<suite>.jsonl``): what finished, what failed,
+  what a dead sweep was doing when it stopped.
+
+Exit codes: 0 success, 2 usage error, 3 a supervised sweep had
+permanently failed points, 130 interrupted by SIGINT/SIGTERM.
 """
 
 from __future__ import annotations
@@ -70,11 +76,79 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         forwarded.append("--no-cache")
     if args.refresh:
         forwarded.append("--refresh")
+    if args.resume:
+        forwarded.append("--resume")
+    if args.max_retries != 2:
+        forwarded += ["--max-retries", str(args.max_retries)]
+    if args.run_timeout is not None:
+        forwarded += ["--run-timeout", str(args.run_timeout)]
+    if args.inject_faults:
+        forwarded += ["--inject-faults", args.inject_faults]
     if inspect.signature(module.main).parameters:
         module.main(forwarded)
     else:
         # Experiments without a precomputable run plan take no flags.
         module.main()
+    return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    import os
+    from .experiments.supervisor import (
+        JOURNAL_DIRNAME,
+        RunJournal,
+        replay_journal,
+    )
+    journal_dir = os.path.join(args.outdir, JOURNAL_DIRNAME)
+    if args.suite is None:
+        if not os.path.isdir(journal_dir):
+            print(f"no journals under {journal_dir}", file=sys.stderr)
+            return 2
+        suites = sorted(name[:-len(".jsonl")]
+                        for name in os.listdir(journal_dir)
+                        if name.endswith(".jsonl"))
+        if not suites:
+            print(f"no journals under {journal_dir}", file=sys.stderr)
+            return 2
+        for suite in suites:
+            state = replay_journal(
+                RunJournal.for_suite(args.outdir, suite).path)
+            counts = ", ".join(f"{count} {name}" for name, count
+                               in sorted(state.counts().items()))
+            flag = " [interrupted]" if state.interrupted else ""
+            print(f"{suite}: {counts or 'empty'}{flag}")
+        return 0
+    journal = RunJournal.for_suite(args.outdir, args.suite)
+    if not journal.exists():
+        print(f"no journal for suite {args.suite!r} under "
+              f"{journal_dir}", file=sys.stderr)
+        return 2
+    state = journal.replay()
+    print(f"journal: {journal.path}")
+    print(f"events:  {state.events}"
+          + (f" ({state.corrupt_lines} corrupt lines skipped)"
+             if state.corrupt_lines else ""))
+    if state.interrupted:
+        print("status:  INTERRUPTED (resume with --resume)")
+    for name, count in sorted(state.counts().items()):
+        print(f"  {name:<9} {count}")
+    unfinished = state.in_state("running") + state.in_state("pending")
+    shown = 0
+    for ck in state.in_state("failed") + unfinished:
+        key = state.keys.get(ck, {})
+        label = "/".join(str(key.get(field, "?")) for field in
+                         ("design", "workload", "size"))
+        detail = state.errors.get(ck, state.states[ck])
+        attempts = state.attempts.get(ck, 0)
+        print(f"  {state.states[ck]:<9} {label} "
+              f"(attempt {attempts}): {detail}")
+        shown += 1
+        if shown >= args.limit:
+            remaining = len(state.in_state("failed")) \
+                + len(unfinished) - shown
+            if remaining > 0:
+                print(f"  ... and {remaining} more")
+            break
     return 0
 
 
@@ -188,7 +262,35 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--outdir", default="results",
                        help="results directory holding .runcache "
                             "(default: results)")
+    exp_p.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep from its "
+                            "journal")
+    exp_p.add_argument("--max-retries", type=int, default=2,
+                       metavar="N",
+                       help="retry budget per run for transient "
+                            "failures (default: 2)")
+    exp_p.add_argument("--run-timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="per-run wall-clock budget")
+    exp_p.add_argument("--inject-faults", default=None,
+                       metavar="SPEC",
+                       help="deterministic fault injection spec "
+                            "(e.g. worker_crash:0.1,seed:7)")
     exp_p.set_defaults(func=_cmd_experiment)
+
+    journal_p = sub.add_parser(
+        "journal", help="inspect a sweep's lifecycle journal")
+    journal_p.add_argument("suite", nargs="?", default=None,
+                           help="suite name (e.g. run_all, fig12); "
+                                "omit to list all journals")
+    journal_p.add_argument("--outdir", default="results",
+                           help="results directory holding "
+                                ".runjournal (default: results)")
+    journal_p.add_argument("--limit", type=int, default=20,
+                           metavar="N",
+                           help="show at most N failed/unfinished "
+                                "runs (default: 20)")
+    journal_p.set_defaults(func=_cmd_journal)
 
     sweep_p = sub.add_parser("sweep",
                              help="all designs on one workload")

@@ -1,4 +1,16 @@
-"""Exception hierarchy for the MDACache reproduction."""
+"""Exception hierarchy for the MDACache reproduction.
+
+The experiment-engine additions (:class:`ExperimentError` and below)
+form the retry taxonomy the supervisor uses to decide whether a failed
+simulation point is worth re-dispatching: :class:`TransientRunError`
+subclasses describe environmental failures (a crashed or hung worker,
+a wall-clock timeout, a broken pool, a lock that never came free) that
+a retry can plausibly fix, while :class:`PermanentRunError` covers
+deterministic failures that would simply fail again.
+:func:`classify_error` maps arbitrary exceptions onto the two classes.
+"""
+
+from __future__ import annotations
 
 
 class ReproError(Exception):
@@ -19,3 +31,92 @@ class ProgramError(ReproError):
 
 class SimulationError(ReproError):
     """An internal invariant of the simulator was violated."""
+
+
+# -- experiment-engine supervision --------------------------------------------
+
+
+class ExperimentError(ReproError):
+    """Base class for experiment-engine (scheduler/supervisor) failures."""
+
+
+class TransientRunError(ExperimentError):
+    """A run failed for environmental reasons; a retry may succeed."""
+
+
+class WorkerCrash(TransientRunError):
+    """A pool worker died (killed, OOM, segfault) while running a point."""
+
+
+class WorkerHang(TransientRunError):
+    """A pool worker stopped heartbeating while running a point."""
+
+
+class RunTimeout(TransientRunError):
+    """A run exceeded its per-point wall-clock budget."""
+
+
+class PoolBroken(TransientRunError):
+    """The worker pool could not be created or had to be torn down."""
+
+
+class LockTimeout(TransientRunError):
+    """An advisory file lock could not be acquired within its budget."""
+
+
+class PermanentRunError(ExperimentError):
+    """A run failed deterministically; retrying would fail identically."""
+
+
+class SweepInterrupted(ExperimentError):
+    """A sweep was stopped by SIGINT/SIGTERM; journal was flushed.
+
+    Carried to the CLI layer, which exits with status 130 (the shell
+    convention for death-by-SIGINT).
+    """
+
+    def __init__(self, message: str = "sweep interrupted",
+                 report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class SweepFailed(ExperimentError):
+    """One or more points exhausted their retry budget or failed hard."""
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+#: CLI exit status for an interrupted sweep (128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+#: CLI exit status when a sweep completed but points failed permanently.
+EXIT_SWEEP_FAILED = 3
+
+#: Exception types (beyond TransientRunError) that a retry may fix:
+#: resource pressure, I/O flakes, and multiprocessing plumbing faults.
+_TRANSIENT_TYPES = (OSError, MemoryError, EOFError,
+                    BrokenPipeError, ConnectionError, InterruptedError)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` or ``"permanent"`` for a failed run's exception.
+
+    The default is permanent: the simulator is deterministic, so an
+    unrecognized failure will recur on retry; only environmental error
+    families earn another attempt.
+    """
+    if isinstance(exc, TransientRunError):
+        return "transient"
+    if isinstance(exc, PermanentRunError):
+        return "permanent"
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return "transient"
+    return "permanent"
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when :func:`classify_error` deems the exception retryable."""
+    return classify_error(exc) == "transient"

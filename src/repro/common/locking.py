@@ -1,0 +1,86 @@
+"""Advisory file locking for the on-disk caches.
+
+The run cache and the trace store were originally written under a
+single-writer assumption: one ``repro`` invocation owns an OUTDIR, and
+atomic ``os.replace`` renames were enough to keep entries internally
+consistent.  Two concurrent invocations sharing an OUTDIR break that
+assumption — their temp files collide only per-pid, but interleaved
+directory mutations (store vs. clear vs. quarantine) can tear.
+
+:func:`file_lock` replaces the assumption with an advisory
+``fcntl.flock`` on a sidecar lock file, acquired non-blocking in a
+bounded retry loop so a dead lock holder (the lock dies with its fd)
+or a wedged one can never hang a sweep: on timeout the caller gets a
+:class:`~repro.common.errors.LockTimeout`, which cache writers treat
+as "skip this best-effort write" rather than as fatal.
+
+On platforms without ``fcntl`` the lock degrades to a no-op, restoring
+the documented single-writer contract there.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import Callable, Iterator
+
+from .errors import LockTimeout
+
+try:  # pragma: no cover - import guard for non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+#: Default time budget for acquiring a cache lock, in seconds.  Cache
+#: writes are small; anything holding the lock longer is wedged.
+DEFAULT_LOCK_TIMEOUT = 10.0
+
+#: Delay between non-blocking acquisition attempts, in seconds.
+DEFAULT_LOCK_POLL = 0.05
+
+
+@contextlib.contextmanager
+def file_lock(path: str,
+              timeout: float = DEFAULT_LOCK_TIMEOUT,
+              poll: float = DEFAULT_LOCK_POLL,
+              clock: Callable[[], float] = time.monotonic,
+              sleep: Callable[[float], None] = time.sleep) \
+        -> Iterator[None]:
+    """Hold an exclusive advisory lock on ``path`` for the body.
+
+    The lock file is created if missing (its parent directory must
+    exist) and is never deleted — flock locks attach to the inode, so
+    deleting the file would let a later acquirer lock a different
+    inode and race the current holder.
+
+    Raises:
+        LockTimeout: the lock stayed held for longer than ``timeout``.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    handle = open(path, "a+b")
+    try:
+        deadline = clock() + timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if clock() >= deadline:
+                    raise LockTimeout(
+                        f"could not lock {path} within {timeout:.1f}s")
+                sleep(poll)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    finally:
+        handle.close()
+
+
+def lock_path_for(root: str, name: str = ".lock") -> str:
+    """The sidecar lock file guarding a cache directory's mutations."""
+    return os.path.join(root, name)

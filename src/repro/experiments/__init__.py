@@ -16,13 +16,25 @@ from .fig16 import Fig16Result, run_fig16
 from .fig17 import Fig17Result, run_fig17
 from .layout_mismatch import LayoutMismatchResult, run_layout_mismatch
 from .multiprogram import MultiProgramExperimentResult, run_multiprogram
+from .faults import FaultPlan
 from .run_all import run_all
 from .runner import ExperimentRunner, FAST_MEMORY_FACTOR
+from .supervisor import (
+    RetryPolicy,
+    RunJournal,
+    Supervisor,
+    SweepReport,
+)
 from .table1 import Table1Result, run_table1
 
 __all__ = [
     "ExperimentRunner",
     "FAST_MEMORY_FACTOR",
+    "FaultPlan",
+    "RetryPolicy",
+    "RunJournal",
+    "Supervisor",
+    "SweepReport",
     "DynamicOrientationResult",
     "EnergyResult",
     "Fig10Result",

@@ -1,0 +1,221 @@
+"""Deterministic fault injection for the experiment engine.
+
+Every recovery path the supervisor promises — crashed workers are
+detected and their points retried, hung workers are reaped by the
+heartbeat monitor, corrupt cache entries are quarantined and re-read
+as misses — is exercised by injecting the corresponding fault on
+purpose, deterministically, so CI tests the paths instead of trusting
+them.
+
+A :class:`FaultPlan` names per-site firing rates and a seed::
+
+    REPRO_FAULTS=worker_crash:0.1,worker_hang:0.05,cache_corrupt:0.2,seed:7
+
+or the equivalent ``--inject-faults`` CLI spec.  Whether a given site
+fires is a pure function of ``(seed, site, token)`` — the token is a
+stable identifier such as ``"<cache_key>:<attempt>"`` — via a SHA-256
+draw, so the same plan fires the same faults regardless of worker
+scheduling order, process boundaries, or wall-clock time.  Retries get
+a fresh draw because the attempt number is part of the token.
+
+Sites:
+
+* ``worker_crash`` — the pool worker ``os._exit``\\ s mid-run,
+  modeling an OOM kill or segfault.
+* ``worker_hang``  — the worker stalls its heartbeat and sleeps for
+  ``hang_seconds``, modeling a wedged worker.
+* ``cache_corrupt`` — a freshly written run-cache or trace-store entry
+  is truncated in place, modeling a torn write / bad disk.
+
+The plan is *armed* process-globally (:func:`arm`); forked pool
+workers inherit the armed plan, and the supervisor passes the spec
+through its worker initializer for non-fork start methods.  The
+``REPRO_FAULTS`` environment variable arms lazily on first use; the
+test suite disarms it around every test so unit tests stay hermetic
+unless they arm a plan explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..common.errors import ConfigError
+
+#: Environment variable holding a fault spec (see module docstring).
+ENV_VAR = "REPRO_FAULTS"
+
+#: The injectable fault sites.
+SITES = ("worker_crash", "worker_hang", "cache_corrupt")
+
+#: Exit status used by an injected worker crash (distinct from real
+#: failure codes so supervisor logs can attribute it).
+CRASH_EXIT_CODE = 41
+
+#: Plan keys that are knobs rather than site rates.
+_KNOBS = ("seed", "hang_seconds")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-site firing rates plus the seed that makes them repeatable."""
+
+    rates: Mapping[str, float] = field(default_factory=dict)
+    seed: int = 0
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates.items():
+            if site not in SITES:
+                raise ConfigError(
+                    f"unknown fault site {site!r}; known: "
+                    f"{', '.join(SITES)}")
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"fault rate for {site} must be in [0, 1], "
+                    f"got {rate}")
+
+    def rate(self, site: str) -> float:
+        return self.rates.get(site, 0.0)
+
+    def should_fire(self, site: str, token: str) -> bool:
+        """Deterministic draw: does ``site`` fire for ``token``?
+
+        The draw hashes ``seed|site|token`` and compares the top 64
+        bits against the site's rate, so it is identical across
+        processes and invocations and independent of call order.
+        """
+        rate = self.rate(site)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}|{site}|{token}".encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < rate
+
+    def spec(self) -> str:
+        """Serialize back to the ``REPRO_FAULTS`` spec syntax."""
+        parts = [f"{site}:{rate:g}"
+                 for site, rate in sorted(self.rates.items())]
+        parts.append(f"seed:{self.seed}")
+        if self.hang_seconds != FaultPlan.hang_seconds:  # type: ignore[comparison-overlap]
+            parts.append(f"hang_seconds:{self.hang_seconds:g}")
+        return ",".join(parts)
+
+
+def parse_spec(spec: str) -> FaultPlan:
+    """Parse a ``site:rate,...,seed:N`` spec into a :class:`FaultPlan`.
+
+    Raises:
+        ConfigError: malformed syntax, unknown site, or bad rate.
+    """
+    rates: Dict[str, float] = {}
+    seed = 0
+    hang_seconds = FaultPlan.hang_seconds
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition(":")
+        if not sep:
+            raise ConfigError(
+                f"malformed fault spec entry {part!r} "
+                f"(expected site:rate)")
+        name = name.strip()
+        try:
+            if name == "seed":
+                seed = int(value)
+            elif name == "hang_seconds":
+                hang_seconds = float(value)
+            else:
+                rates[name] = float(value)
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad value in fault spec entry {part!r}") from exc
+    return FaultPlan(rates=rates, seed=seed,
+                     hang_seconds=hang_seconds)
+
+
+# -- process-global arming ----------------------------------------------------
+
+_UNSET = object()
+_active: object = _UNSET  # _UNSET | None | FaultPlan
+
+
+def arm(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Arm (or with ``None`` explicitly disable) fault injection."""
+    global _active
+    _active = plan
+    return plan
+
+
+def disarm() -> None:
+    """Return to the unarmed state (``REPRO_FAULTS`` re-read lazily)."""
+    global _active
+    _active = _UNSET
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, arming lazily from ``REPRO_FAULTS`` if unset."""
+    global _active
+    if _active is _UNSET:
+        spec = os.environ.get(ENV_VAR)
+        _active = parse_spec(spec) if spec else None
+    return _active  # type: ignore[return-value]
+
+
+# -- fault sites --------------------------------------------------------------
+
+
+def maybe_crash_worker(token: str,
+                       plan: Optional[FaultPlan] = None) -> None:
+    """``worker_crash`` site: exit the process abruptly if armed.
+
+    ``os._exit`` skips atexit/finally handlers, modeling a SIGKILL/OOM
+    as closely as a cooperative site can.
+    """
+    plan = active_plan() if plan is None else plan
+    if plan is not None and plan.should_fire("worker_crash", token):
+        os._exit(CRASH_EXIT_CODE)
+
+
+def maybe_hang_worker(token: str,
+                      plan: Optional[FaultPlan] = None,
+                      stall: Optional[object] = None) -> bool:
+    """``worker_hang`` site: stall the heartbeat and sleep if armed.
+
+    ``stall`` is the heartbeat's stop event (set before sleeping so
+    the monitor sees a genuinely silent worker).  Returns True when
+    the hang fired.
+    """
+    plan = active_plan() if plan is None else plan
+    if plan is None or not plan.should_fire("worker_hang", token):
+        return False
+    if stall is not None:
+        stall.set()
+    time.sleep(plan.hang_seconds)
+    return True
+
+
+def maybe_corrupt_file(path: str, token: str,
+                       plan: Optional[FaultPlan] = None) -> bool:
+    """``cache_corrupt`` site: truncate a just-written entry if armed.
+
+    Keeps the first half of the file (minimum one byte), modeling a
+    torn write that survived a crash.  Returns True when it fired.
+    """
+    plan = active_plan() if plan is None else plan
+    if plan is None or not plan.should_fire("cache_corrupt", token):
+        return False
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    except OSError:
+        return False
+    return True

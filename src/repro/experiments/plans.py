@@ -19,11 +19,18 @@ import os
 import sys
 from typing import Callable, Dict, Iterable, List, Optional
 
+from ..common.errors import (
+    EXIT_INTERRUPTED,
+    EXIT_SWEEP_FAILED,
+    SweepFailed,
+    SweepInterrupted,
+)
 from ..core.simulator import trace_cache_info
 from ..sw.tracestore import TRACECACHE_DIRNAME
 from ..workloads.registry import workload_names
-from . import fig11, fig12, fig13, fig15, fig16, fig17
+from . import faults, fig11, fig12, fig13, fig15, fig16, fig17
 from .runner import RUNCACHE_DIRNAME, ExperimentRunner, RunKey
+from .supervisor import RetryPolicy, RunJournal, Supervisor
 
 
 def plan_fig11(workloads: Optional[List[str]] = None,
@@ -159,6 +166,23 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--outdir", default="results",
                         help="results directory; the run cache lives "
                              "in OUTDIR/.runcache (default: results)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from its "
+                             "journal (OUTDIR/.runjournal)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="retry a transiently failed run at most "
+                             "N times (default: 2)")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="per-run wall-clock budget; a run over "
+                             "budget is killed and retried "
+                             "(default: none)")
+    parser.add_argument("--inject-faults", default=None,
+                        metavar="SPEC",
+                        help="deterministic fault injection, e.g. "
+                             "worker_crash:0.1,seed:7 (also read "
+                             "from $REPRO_FAULTS)")
 
 
 def runner_from_args(args: argparse.Namespace,
@@ -173,6 +197,43 @@ def runner_from_args(args: argparse.Namespace,
                             trace_dir=trace_dir)
 
 
+def supervisor_from_args(args: argparse.Namespace,
+                         runner: ExperimentRunner,
+                         suite: str) -> Supervisor:
+    """A :class:`Supervisor` configured by the shared CLI flags.
+
+    The lifecycle journal lives at ``OUTDIR/.runjournal/<suite>.jsonl``
+    regardless of ``--no-cache`` (the journal records what happened;
+    the cache records results).
+    """
+    fault_plan = None
+    if getattr(args, "inject_faults", None):
+        fault_plan = faults.parse_spec(args.inject_faults)
+    return Supervisor(
+        runner,
+        journal=RunJournal.for_suite(args.outdir, suite),
+        policy=RetryPolicy(max_retries=max(0, args.max_retries)),
+        run_timeout=args.run_timeout,
+        resume=args.resume,
+        fault_plan=fault_plan)
+
+
+def run_supervised(supervisor: Supervisor,
+                   plan: List[RunKey]) -> None:
+    """Supervise a plan for a CLI entry point, mapping outcomes to
+    exit codes: SIGINT/SIGTERM exits 130, permanent failures exit 3."""
+    try:
+        report = supervisor.supervise(plan)
+    except SweepInterrupted as exc:
+        print(f"  interrupted: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_INTERRUPTED) from exc
+    except SweepFailed as exc:
+        print(f"  sweep failed: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_SWEEP_FAILED) from exc
+    if report.retries or report.resumed or report.degraded_serial:
+        print(f"  supervisor: {report.describe()}", file=sys.stderr)
+
+
 def describe_trace_info(info: Dict[str, int]) -> str:
     """One-line summary of :func:`trace_cache_info` counters."""
     return (f"{info['hits']} memo hits, {info['store_hits']} store "
@@ -185,8 +246,9 @@ def figure_runner(name: str,
 
     Used by every planned figure's ``main``: collects the figure's run
     plan, satisfies it from the persistent cache, simulates what is
-    missing (in parallel under ``--jobs``), and hands back a runner on
-    which the figure's run loop is pure memo hits.
+    missing (in parallel under ``--jobs``, supervised — journaled,
+    retried, resumable), and hands back a runner on which the figure's
+    run loop is pure memo hits.
     """
     parser = argparse.ArgumentParser(
         prog=f"repro.experiments.{name}",
@@ -196,7 +258,8 @@ def figure_runner(name: str,
     runner = runner_from_args(args)
     planner = PLANNERS.get(name)
     if planner is not None:
-        runner.prefetch(planner())
+        run_supervised(supervisor_from_args(args, runner, name),
+                       planner())
         info = runner.cache_info()
         if info.requests:
             print(f"  [{name}] run cache: {info.describe()}",

@@ -34,10 +34,18 @@ from .fig17 import run_fig17
 from .future_tiling import run_future_tiling
 from .layout_mismatch import run_layout_mismatch
 from .multiprogram import run_multiprogram
+from ..common.errors import (
+    EXIT_INTERRUPTED,
+    EXIT_SWEEP_FAILED,
+    SweepFailed,
+    SweepInterrupted,
+)
 from ..core.simulator import trace_cache_info
 from ..sw.tracestore import TRACECACHE_DIRNAME
+from . import faults
 from .plans import describe_trace_info, plan_for
 from .runner import RUNCACHE_DIRNAME, ExperimentRunner
+from .supervisor import RetryPolicy, RunJournal, Supervisor
 from .table1 import run_table1
 
 
@@ -95,17 +103,38 @@ def run_all(outdir: str = "results",
             verbose: bool = True,
             jobs: int = 1,
             use_cache: bool = True,
-            refresh: bool = False) -> Dict[str, Dict[str, float]]:
+            refresh: bool = False,
+            resume: bool = False,
+            max_retries: int = 2,
+            run_timeout: Optional[float] = None,
+            inject_faults: Optional[str] = None) \
+        -> Dict[str, Dict[str, float]]:
     """Run every (or the selected) experiment; returns the summary.
 
     Args:
         outdir: results directory; the persistent run cache lives in
-            ``outdir/.runcache`` unless ``use_cache`` is false.
+            ``outdir/.runcache`` unless ``use_cache`` is false, and
+            the lifecycle journal in ``outdir/.runjournal``.
         only: restrict to these experiment names.
         verbose: progress logging on stderr.
         jobs: worker processes for the shared simulation points.
         use_cache: read/write the persistent run cache.
         refresh: re-simulate cached points, overwriting their entries.
+        resume: replay the ``run_all`` journal and pick up where an
+            interrupted sweep stopped (completed points come back from
+            the persistent cache).
+        max_retries: retry budget per simulation point for transient
+            failures (crashed/hung workers, timeouts).
+        run_timeout: per-point wall-clock budget in seconds (pool
+            mode); ``None`` disables it.
+        inject_faults: deterministic fault-injection spec (see
+            :mod:`repro.experiments.faults`); ``None`` leaves the
+            ``REPRO_FAULTS`` environment arming untouched.
+
+    Raises:
+        SweepInterrupted: SIGINT/SIGTERM stopped the sweep (the
+            journal was flushed first; rerun with ``resume=True``).
+        SweepFailed: a point exhausted its retries or failed hard.
     """
     os.makedirs(outdir, exist_ok=True)
     cache_dir = os.path.join(outdir, RUNCACHE_DIRNAME) if use_cache \
@@ -127,7 +156,20 @@ def run_all(outdir: str = "results",
         if verbose:
             print(f"== prefetch: {len(plan)} unique simulation points "
                   f"==", file=sys.stderr)
-        runner.prefetch(plan)
+        fault_plan = faults.parse_spec(inject_faults) \
+            if inject_faults else None
+        supervisor = Supervisor(
+            runner,
+            journal=RunJournal.for_suite(outdir, "run_all"),
+            policy=RetryPolicy(max_retries=max(0, max_retries)),
+            run_timeout=run_timeout,
+            resume=resume,
+            fault_plan=fault_plan)
+        report = supervisor.supervise(plan)
+        if verbose and (report.retries or report.resumed
+                        or report.degraded_serial):
+            print(f"== supervisor: {report.describe()} ==",
+                  file=sys.stderr)
     summary: Dict[str, Dict[str, float]] = {}
     for name in selected:
         thunk, extract = experiments[name]
@@ -176,12 +218,40 @@ def main(argv: Optional[List[str]] = None) -> None:
                              "their cache entries")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress logging")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from its "
+                             "journal (OUTDIR/.runjournal)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="retry a transiently failed run at most "
+                             "N times (default: 2)")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="per-run wall-clock budget; over-budget "
+                             "runs are killed and retried")
+    parser.add_argument("--inject-faults", default=None,
+                        metavar="SPEC",
+                        help="deterministic fault injection, e.g. "
+                             "worker_crash:0.1,seed:7 (also read "
+                             "from $REPRO_FAULTS)")
     args = parser.parse_args(argv)
     outdir = args.outdir_opt or args.outdir or "results"
-    summary = run_all(outdir, tuple(args.names) or None,
-                      verbose=not args.quiet, jobs=args.jobs,
-                      use_cache=not args.no_cache,
-                      refresh=args.refresh)
+    try:
+        summary = run_all(outdir, tuple(args.names) or None,
+                          verbose=not args.quiet, jobs=args.jobs,
+                          use_cache=not args.no_cache,
+                          refresh=args.refresh,
+                          resume=args.resume,
+                          max_retries=args.max_retries,
+                          run_timeout=args.run_timeout,
+                          inject_faults=args.inject_faults)
+    except SweepInterrupted as exc:
+        print(f"interrupted: {exc}\n(rerun with --resume to pick up "
+              f"where this sweep stopped)", file=sys.stderr)
+        raise SystemExit(EXIT_INTERRUPTED) from exc
+    except SweepFailed as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        raise SystemExit(EXIT_SWEEP_FAILED) from exc
     print(json.dumps(summary, indent=2, sort_keys=True))
 
 

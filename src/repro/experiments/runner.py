@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..common.config import MemoryConfig, SystemConfig
+from ..common.errors import LockTimeout
+from ..common.locking import file_lock, lock_path_for
 from ..core.simulator import (
     RunResult,
     configure_trace_store,
@@ -42,6 +44,7 @@ from ..core.simulator import (
 )
 from ..core.system import make_resident_system, make_system
 from ..sw.tracestore import TRACECACHE_DIRNAME  # noqa: F401 (re-export)
+from . import faults
 
 #: Paper Fig. 17 evaluates a 1.6x faster main memory.
 FAST_MEMORY_FACTOR = 1.6
@@ -120,15 +123,35 @@ def cache_key(key: RunKey) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
+#: Suffix a quarantined (corrupt) cache entry is renamed to.
+QUARANTINE_SUFFIX = ".corrupt"
+
+
 class RunCache:
     """Persistent on-disk store of completed :class:`RunResult` objects.
 
     One pickle per simulation point, written atomically; a corrupt or
-    format-mismatched entry reads as a miss, never as an error.
+    format-mismatched entry reads as a miss, never as an error.  A
+    corrupt entry is additionally *quarantined* — renamed to
+    ``<entry>.pkl.corrupt`` and counted in :attr:`corrupt_evictions` —
+    so it is read (and fails) once instead of on every lookup, and the
+    bad bytes survive for postmortem inspection.
+
+    Writes take an advisory lock on ``<root>/.lock`` so two concurrent
+    ``repro`` invocations sharing an OUTDIR cannot interleave
+    directory mutations (see :mod:`repro.common.locking`); a lock that
+    never frees skips the best-effort write and counts in
+    :attr:`lock_timeouts` rather than wedging the sweep.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str,
+                 lock_timeout: float = 10.0) -> None:
         self._root = root
+        self._lock_timeout = lock_timeout
+        #: Corrupt entries quarantined by :meth:`load` so far.
+        self.corrupt_evictions = 0
+        #: Best-effort writes skipped because the lock stayed held.
+        self.lock_timeouts = 0
 
     @property
     def root(self) -> str:
@@ -142,11 +165,18 @@ class RunCache:
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.PickleError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError, TypeError):
+            self._quarantine(path)
             return None
-        if not isinstance(payload, dict) \
-                or payload.get("format") != CACHE_FORMAT_VERSION:
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            # A valid entry from an older writer: a silent miss (it is
+            # overwritten in place on the next store), not corruption.
             return None
         return payload.get("result")
 
@@ -159,12 +189,32 @@ class RunCache:
             "result": result,
         }
         tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        try:
+            with file_lock(lock_path_for(self._root),
+                           timeout=self._lock_timeout):
+                with open(tmp, "wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+        except LockTimeout:
+            self.lock_timeouts += 1
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
+        faults.maybe_corrupt_file(path, token=os.path.basename(path))
+
+    def _quarantine(self, path: str) -> None:
+        try:
+            os.replace(path, path + QUARANTINE_SUFFIX)
+        except OSError:
+            return
+        self.corrupt_evictions += 1
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (quarantined ones too); returns
+        the number of live entries removed."""
         removed = 0
         if not os.path.isdir(self._root):
             return removed
@@ -172,6 +222,8 @@ class RunCache:
             if name.endswith(".pkl"):
                 os.remove(os.path.join(self._root, name))
                 removed += 1
+            elif name.endswith(".pkl" + QUARANTINE_SUFFIX):
+                os.remove(os.path.join(self._root, name))
         return removed
 
     def __len__(self) -> int:
@@ -188,6 +240,8 @@ class CacheInfo:
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
+    corrupt_evictions: int = 0
+    lock_timeouts: int = 0
 
     @property
     def hits(self) -> int:
@@ -202,8 +256,14 @@ class CacheInfo:
         return self.hits / total if total else 0.0
 
     def describe(self) -> str:
-        return (f"{self.memory_hits} memo hits, {self.disk_hits} disk "
+        text = (f"{self.memory_hits} memo hits, {self.disk_hits} disk "
                 f"hits, {self.misses} simulated")
+        if self.corrupt_evictions:
+            text += (f", {self.corrupt_evictions} corrupt entries "
+                     f"quarantined")
+        if self.lock_timeouts:
+            text += f", {self.lock_timeouts} writes skipped (lock held)"
+        return text
 
 
 def trace_key_for(key: RunKey) -> Tuple[str, str, int]:
@@ -363,7 +423,37 @@ class ExperimentRunner:
 
     def cache_info(self) -> CacheInfo:
         """A snapshot of the hit/miss accounting so far."""
-        return dataclasses.replace(self._info)
+        info = dataclasses.replace(self._info)
+        if self._disk is not None:
+            info.corrupt_evictions = self._disk.corrupt_evictions
+            info.lock_timeouts = self._disk.lock_timeouts
+        return info
+
+    # -- supervisor hooks ----------------------------------------------------
+
+    def lookup(self, key: RunKey) -> Optional[RunResult]:
+        """Memo-or-disk lookup with hit accounting; never simulates."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._info.memory_hits += 1
+            return cached
+        result = self._load_from_disk(key)
+        if result is not None:
+            self._info.disk_hits += 1
+            self._cache[key] = result
+            self._log(key, result, seconds=0.0, source="runcache")
+        return result
+
+    def record_result(self, key: RunKey, result: RunResult,
+                      seconds: float = 0.0) -> None:
+        """Adopt an externally simulated result into memo and disk.
+
+        Counts as a miss (the point really was simulated, just under
+        the supervisor's control rather than :meth:`run`'s).
+        """
+        self._info.misses += 1
+        self._log(key, result, seconds=seconds)
+        self._store(key, result)
 
     def worker_trace_info(self) -> Dict[int, Dict[str, int]]:
         """Last trace-cache snapshot reported by each pool worker pid.

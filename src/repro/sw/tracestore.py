@@ -6,11 +6,17 @@ every design point, every process, and every future invocation.  The
 store mirrors the run cache's durability contract
 (:class:`repro.experiments.runner.RunCache`):
 
-* entries are written atomically (temp file + ``os.replace``) so a
-  crashed or concurrent writer can never leave a half-written entry
-  visible;
+* entries are written atomically (temp file + ``os.replace``) under an
+  advisory lock on ``<root>/.lock``, so a crashed writer can never
+  leave a half-written entry visible and two concurrent ``repro``
+  invocations sharing an OUTDIR cannot interleave torn writes (this
+  replaces the original single-writer assumption; see
+  :mod:`repro.common.locking`);
 * a corrupt, truncated, or version-mismatched entry reads as a miss,
-  never as an error — the trace is simply regenerated and rewritten;
+  never as an error — the trace is simply regenerated and rewritten.
+  Corrupt entries are additionally *quarantined* (renamed to
+  ``<entry>.mdat.corrupt`` and counted in :attr:`corrupt_evictions`)
+  so they fail once, not on every read, and remain inspectable;
 * the payload is the packed binary trace format of
   :mod:`repro.sw.tracefile`, so every store entry is also a valid input
   to ``repro trace cat`` / ``repro trace run``.
@@ -24,7 +30,8 @@ from __future__ import annotations
 import os
 from typing import Optional, Tuple
 
-from ..common.errors import ProgramError
+from ..common.errors import LockTimeout, ProgramError
+from ..common.locking import file_lock, lock_path_for
 from ..common.types import PackedTrace
 from .tracefile import read_packed_trace, write_packed_trace
 
@@ -36,12 +43,21 @@ TRACECACHE_DIRNAME = ".tracecache"
 #: word layout, trace generation semantics); old entries become misses.
 TRACE_STORE_VERSION = 1
 
+#: Suffix a quarantined (corrupt) store entry is renamed to.
+QUARANTINE_SUFFIX = ".corrupt"
+
 
 class TraceStore:
     """Versioned directory of packed trace files."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str,
+                 lock_timeout: float = 10.0) -> None:
         self._root = root
+        self._lock_timeout = lock_timeout
+        #: Corrupt entries quarantined by :meth:`load` so far.
+        self.corrupt_evictions = 0
+        #: Best-effort writes skipped because the lock stayed held.
+        self.lock_timeouts = 0
 
     @property
     def root(self) -> str:
@@ -59,7 +75,10 @@ class TraceStore:
         path = self.path_for(workload, size, logical_dims)
         try:
             return read_packed_trace(path)
-        except (OSError, ProgramError, ValueError):
+        except FileNotFoundError:
+            return None
+        except (OSError, ProgramError, ValueError, EOFError):
+            self._quarantine(path)
             return None
 
     def store(self, workload: str, size: str, logical_dims: int,
@@ -68,17 +87,38 @@ class TraceStore:
         path = self.path_for(workload, size, logical_dims)
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
-            write_packed_trace(trace, tmp, name=name)
-            os.replace(tmp, path)
+            with file_lock(lock_path_for(self._root),
+                           timeout=self._lock_timeout):
+                write_packed_trace(trace, tmp, name=name)
+                os.replace(tmp, path)
+        except LockTimeout:
+            self.lock_timeouts += 1
+            self._remove_tmp(tmp)
+            return
         except OSError:
             # A read-only or full store is a cache, not a requirement.
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+            self._remove_tmp(tmp)
+            return
+        from ..experiments import faults
+        faults.maybe_corrupt_file(path, token=os.path.basename(path))
+
+    def _quarantine(self, path: str) -> None:
+        try:
+            os.replace(path, path + QUARANTINE_SUFFIX)
+        except OSError:
+            return
+        self.corrupt_evictions += 1
+
+    @staticmethod
+    def _remove_tmp(tmp: str) -> None:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
 
     def clear(self) -> int:
-        """Delete every store entry; returns the number removed."""
+        """Delete every store entry (quarantined ones too); returns
+        the number of live entries removed."""
         removed = 0
         if not os.path.isdir(self._root):
             return removed
@@ -86,6 +126,8 @@ class TraceStore:
             if entry.endswith(".mdat"):
                 os.remove(os.path.join(self._root, entry))
                 removed += 1
+            elif entry.endswith(".mdat" + QUARANTINE_SUFFIX):
+                os.remove(os.path.join(self._root, entry))
         return removed
 
     def __len__(self) -> int:

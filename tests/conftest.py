@@ -54,6 +54,23 @@ class FakeLower:
         return words
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_faults(monkeypatch):
+    """Keep fault injection out of tests that did not ask for it.
+
+    ``REPRO_FAULTS`` arms the deterministic fault harness process-wide
+    (by design — that is how the CI fault job exercises recovery
+    paths), but unit tests asserting exact cache hit counts must stay
+    hermetic; tests that want faults arm a plan explicitly via
+    ``repro.experiments.faults.arm``.
+    """
+    from repro.experiments import faults
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
 @pytest.fixture
 def stats() -> StatRegistry:
     return StatRegistry()

@@ -54,3 +54,74 @@ class TestCommands:
         assert main(["sweep", "htap1"]) == 0
         out = capsys.readouterr().out
         assert "2P2L_Dense" in out
+
+
+class TestJournalCommand:
+    def _write_journal(self, outdir, suite="fig10"):
+        from repro.experiments.runner import RunKey
+        from repro.experiments.supervisor import RunJournal
+        journal = RunJournal.for_suite(str(outdir), suite)
+        done = RunKey("1P1L", "sobel", "small", 1.0, False,
+                      "default", 0)
+        failed = RunKey("1P2L", "sobel", "small", 1.0, False,
+                        "default", 0)
+        journal.record_event("sweep_start", total=2)
+        journal.record_run(done, "ck-done", "running", attempt=1)
+        journal.record_run(done, "ck-done", "done", attempt=1)
+        journal.record_run(failed, "ck-fail", "running", attempt=1)
+        journal.record_run(failed, "ck-fail", "failed", attempt=1,
+                           error="WorkerCrash: injected", final=True)
+        journal.record_event("sweep_interrupted", signal=2)
+        journal.close()
+        return journal
+
+    def test_journal_parses(self):
+        args = build_parser().parse_args(
+            ["journal", "fig10", "--outdir", "x", "--limit", "5"])
+        assert args.command == "journal"
+        assert args.suite == "fig10"
+        assert args.limit == 5
+
+    def test_journal_suite_optional(self):
+        args = build_parser().parse_args(["journal"])
+        assert args.suite is None
+
+    def test_missing_journal_dir_exits_2(self, tmp_path, capsys):
+        assert main(["journal", "--outdir", str(tmp_path)]) == 2
+        assert "no journals" in capsys.readouterr().err
+
+    def test_missing_suite_exits_2(self, tmp_path, capsys):
+        self._write_journal(tmp_path)
+        assert main(["journal", "fig99",
+                     "--outdir", str(tmp_path)]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_lists_suites_with_counts(self, tmp_path, capsys):
+        self._write_journal(tmp_path, "fig10")
+        self._write_journal(tmp_path, "run_all")
+        assert main(["journal", "--outdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig10:" in out
+        assert "run_all:" in out
+        assert "1 done" in out
+        assert "[interrupted]" in out
+
+    def test_suite_detail_shows_failed_runs(self, tmp_path, capsys):
+        self._write_journal(tmp_path)
+        assert main(["journal", "fig10",
+                     "--outdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "INTERRUPTED" in out
+        assert "1P2L/sobel/small" in out
+        assert "WorkerCrash: injected" in out
+        assert "attempt 1" in out
+
+    def test_experiment_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig10", "--resume", "--max-retries", "5",
+             "--run-timeout", "30", "--inject-faults",
+             "worker_crash:0.1,seed:3"])
+        assert args.resume is True
+        assert args.max_retries == 5
+        assert args.run_timeout == 30.0
+        assert args.inject_faults == "worker_crash:0.1,seed:3"

@@ -152,7 +152,8 @@ class TestPersistentCache:
         runner = ExperimentRunner(cache_dir=cache_dir)
         _run(runner, GRID[0])
         assert all(name.endswith(".pkl")
-                   for name in os.listdir(cache_dir))
+                   for name in os.listdir(cache_dir)
+                   if name != ".lock")
 
 
 class TestCacheKey:
@@ -280,6 +281,7 @@ class TestTraceCache:
         assert trace_cache_info() == {"hits": 0, "misses": 0,
                                       "entries": 0, "store_hits": 0,
                                       "store_misses": 0,
+                                      "store_corrupt": 0,
                                       "generated": 0}
 
     def test_explicit_layout_bypasses_cache(self):

@@ -192,7 +192,8 @@ class TestTraceStore:
         trace = generate_packed_trace(build_workload("sobel", "small"), 2)
         store.store("sobel", "small", 2, "sobel", trace)
         assert all(name.endswith(".mdat")
-                   for name in os.listdir(str(tmp_path)))
+                   for name in os.listdir(str(tmp_path))
+                   if name != ".lock")
 
     def test_clear_removes_entries(self, tmp_path):
         store = TraceStore(str(tmp_path))
