@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI gate: compare a fresh BENCH_engine.json against the baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE CURRENT
+
+Compares the throughput metrics (``*_requests_per_sec``) of a freshly
+measured artifact against the committed baseline.  A metric more than
+``FAIL_THRESHOLD`` below its baseline fails the build; anything below
+baseline but within the threshold prints a soft warning (CI runners
+are shared and noisy — a hard gate at parity would flap).  Metrics new
+to the current artifact are reported informationally; metrics present
+in the baseline but missing from the current run fail, since that
+means a bench silently stopped running.
+
+Exit status: 0 = OK (possibly with warnings), 1 = regression or
+missing metric, 2 = usage / unreadable artifact.
+"""
+
+import json
+import sys
+
+#: Hard-fail when a throughput metric drops by more than this fraction.
+FAIL_THRESHOLD = 0.25
+
+#: Gated metrics: higher is better, measured in requests/second.
+THROUGHPUT_KEYS = (
+    "hot_loop_requests_per_sec",
+    "packed_loop_requests_per_sec",
+    "kernel_loop_requests_per_sec",
+)
+
+
+def _load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def check(baseline, current):
+    """Compare artifacts; returns a list of hard failures."""
+    failures = []
+    for key in THROUGHPUT_KEYS:
+        base = baseline.get(key)
+        curr = current.get(key)
+        if not isinstance(base, (int, float)) or base <= 0:
+            if isinstance(curr, (int, float)):
+                print(f"  new    {key}: {curr:,.0f} req/s "
+                      f"(no baseline)")
+            continue
+        if not isinstance(curr, (int, float)):
+            failures.append(f"{key}: present in baseline "
+                            f"({base:,.0f} req/s) but missing from "
+                            f"the current artifact")
+            continue
+        ratio = curr / base
+        if ratio < 1.0 - FAIL_THRESHOLD:
+            failures.append(f"{key}: {curr:,.0f} req/s is "
+                            f"{(1.0 - ratio) * 100:.1f}% below the "
+                            f"baseline {base:,.0f} req/s "
+                            f"(limit {FAIL_THRESHOLD * 100:.0f}%)")
+        elif ratio < 1.0:
+            print(f"  warn   {key}: {curr:,.0f} req/s is "
+                  f"{(1.0 - ratio) * 100:.1f}% below baseline "
+                  f"{base:,.0f} req/s (within the "
+                  f"{FAIL_THRESHOLD * 100:.0f}% tolerance)")
+        else:
+            print(f"  ok     {key}: {curr:,.0f} req/s "
+                  f"(baseline {base:,.0f}, {(ratio - 1) * 100:+.1f}%)")
+    return failures
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = _load(argv[1])
+    current = _load(argv[2])
+    print(f"bench regression gate: {argv[2]} vs baseline {argv[1]}")
+    failures = check(baseline, current)
+    if failures:
+        for failure in failures:
+            print(f"  FAIL   {failure}", file=sys.stderr)
+        return 1
+    print("  bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -84,11 +84,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         forwarded += ["--run-timeout", str(args.run_timeout)]
     if args.inject_faults:
         forwarded += ["--inject-faults", args.inject_faults]
-    if inspect.signature(module.main).parameters:
-        module.main(forwarded)
-    else:
-        # Experiments without a precomputable run plan take no flags.
-        module.main()
+    # Profiling wraps the whole experiment here (not via a forwarded
+    # flag) so it also covers experiments without a precomputable run
+    # plan, whose mains take no arguments.
+    from .common.profile_util import profiled
+    with profiled(args.outdir, enabled=args.profile):
+        if inspect.signature(module.main).parameters:
+            module.main(forwarded)
+        else:
+            # Experiments without a precomputable run plan take no
+            # flags.
+            module.main()
     return 0
 
 
@@ -276,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SPEC",
                        help="deterministic fault injection spec "
                             "(e.g. worker_crash:0.1,seed:7)")
+    exp_p.add_argument("--profile", action="store_true",
+                       help="profile the run under cProfile: dump "
+                            "OUTDIR/profile.pstats and print the top "
+                            "20 functions by cumulative time to "
+                            "stderr (workers under --jobs N run "
+                            "unprofiled; use --jobs 1)")
     exp_p.set_defaults(func=_cmd_experiment)
 
     journal_p = sub.add_parser(

@@ -54,7 +54,15 @@ class Cache1P1L(CacheLevel):
         self._c_misses = self._stats.counter("misses")
         self._c_fetch_requests = self._stats.counter("fetch_requests")
         self._c_prefetch_fills = self._stats.counter("prefetch_fills")
+        self._c_writebacks_in = self._stats.counter("writebacks_in")
+        self._c_writebacks_out = self._stats.counter("writebacks_out")
+        self._c_evictions = self._stats.counter("evictions")
         self._prefetch_enabled = config.prefetcher.enabled
+
+    @property
+    def prefetcher(self) -> StridePrefetcher:
+        """The level's stride prefetcher (shared with the kernel path)."""
+        return self._prefetcher
 
     # -- CPU-facing -----------------------------------------------------------
 
@@ -114,7 +122,7 @@ class Cache1P1L(CacheLevel):
 
     def writeback_line(self, line_id: int, dirty_mask: int,
                        now: int) -> int:
-        self._stats.add("writebacks_in")
+        self._c_writebacks_in.value += 1
         self._probe()
         if line_id in self._frames:
             self._frames[line_id] |= dirty_mask
@@ -129,7 +137,7 @@ class Cache1P1L(CacheLevel):
     def flush(self, now: int) -> None:
         for line_id, dirty in list(self._frames.items()):
             if dirty:
-                self._stats.add("writebacks_out")
+                self._c_writebacks_out.value += 1
                 self._lower.writeback_line(line_id, dirty, now)
         self._frames.clear()
         for repl in self._sets:
@@ -162,9 +170,9 @@ class Cache1P1L(CacheLevel):
             victim = repl.victim()
             repl.remove(victim)
             victim_dirty = self._frames.pop(victim)
-            self._stats.add("evictions")
+            self._c_evictions.value += 1
             if victim_dirty:
-                self._stats.add("writebacks_out")
+                self._c_writebacks_out.value += 1
                 self._lower.writeback_line(victim, victim_dirty, now)
         self._frames[line_id] = dirty_mask
         repl.insert(line_id)

@@ -45,6 +45,7 @@ class CacheHierarchy:
                  replacement: str = "lru") -> None:
         self._config = config
         self._stats = stats
+        self._replacement = replacement
         self._memory = MdaMemory(config.memory, stats,
                                  allow_column=True)
         self._port = MemoryPort(self._memory, stats)
@@ -71,6 +72,16 @@ class CacheHierarchy:
     @property
     def memory(self) -> MdaMemory:
         return self._memory
+
+    @property
+    def port(self) -> MemoryPort:
+        """The memory-side port below the LLC (kernel chain bottom)."""
+        return self._port
+
+    @property
+    def replacement(self) -> str:
+        """The replacement policy every level was built with."""
+        return self._replacement
 
     def level(self, name: str) -> CacheLevel:
         """Find a level by its configured name (e.g. "L2")."""

@@ -1,0 +1,61 @@
+"""Opt-in cProfile wrapping for the CLI entry points.
+
+``repro experiment <name> --profile`` (and the per-figure CLIs, e.g.
+``python -m repro.experiments.fig12 --profile``) wrap the run in
+:func:`profiled`: the raw profile is dumped to ``OUTDIR/profile.pstats``
+for offline analysis (``python -m pstats``, snakeviz, gprof2dot) and
+the top functions by cumulative time are printed to stderr so a quick
+look needs no extra tooling.
+
+Distinct from :mod:`repro.sw.profiling`, which implements the paper's
+access-direction profiling pass — this module profiles the simulator
+itself.
+
+Note: :mod:`cProfile` observes only the calling process.  Under
+``--jobs N`` the forked pool workers run unprofiled; profile with
+``--jobs 1`` to capture the simulation work itself.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+#: Name of the dump written inside the results directory.
+PROFILE_FILENAME = "profile.pstats"
+
+#: How many functions the stderr summary shows.
+TOP_FUNCTIONS = 20
+
+
+@contextmanager
+def profiled(outdir: str, enabled: bool = True,
+             stream: Optional[IO[str]] = None) -> Iterator[None]:
+    """Profile the enclosed block when ``enabled``.
+
+    Writes ``<outdir>/profile.pstats`` (creating ``outdir`` if needed)
+    and prints the top :data:`TOP_FUNCTIONS` entries sorted by
+    cumulative time to ``stream`` (default: stderr).  With ``enabled``
+    false the block runs untouched — callers wire the flag straight
+    through without branching.
+    """
+    if not enabled:
+        yield
+        return
+    out = stream if stream is not None else sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        os.makedirs(outdir, exist_ok=True)
+        path = os.path.join(outdir, PROFILE_FILENAME)
+        profiler.dump_stats(path)
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("cumulative").print_stats(TOP_FUNCTIONS)
+        print(f"[profile] full profile written to {path}", file=out)

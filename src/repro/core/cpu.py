@@ -34,6 +34,8 @@ from ..common.types import (
     Request,
     line_words,
 )
+from . import kernels
+from .kernels import LAT_HIST_KEYS
 
 #: Callback invoked as sampler(ops_retired, now_cycles).
 Sampler = Callable[[int, int], None]
@@ -90,11 +92,16 @@ class TraceDrivenCpu:
             sample_every: int = 0) -> int:
         """Execute a trace; returns total cycles including drain.
 
-        A :class:`PackedTrace` is dispatched to :meth:`run_packed`
-        (bit-identical statistics, no per-request objects); any other
-        iterable takes the object path below.
+        A :class:`PackedTrace` is dispatched to :meth:`run_kernel`
+        when the fused flat-store kernel covers the design (and no
+        occupancy sampler needs per-request callbacks), else to
+        :meth:`run_packed` — both bit-identical to the object path
+        below, which any other iterable takes.
         """
         if isinstance(trace, PackedTrace):
+            if (sampler is None or sample_every <= 0) \
+                    and kernels.supports(self._hierarchy):
+                return self.run_kernel(trace)
             return self.run_packed(trace, sampler, sample_every)
         now = 0
         ops = 0
@@ -114,10 +121,12 @@ class TraceDrivenCpu:
         misses_tracked = self._stats.counter("read_misses_tracked")
         heappush, heappop = heapq.heappush, heapq.heappop
         sampling = sampler is not None and sample_every > 0
+        hist = [0] * len(LAT_HIST_KEYS)
         for req in trace:
             now += issue_cost
             result = access(req, now)
             ops += 1
+            hist[result.latency.bit_length()] += 1
             if result.latency > pipelined and not req.is_write:
                 heappush(window, now + result.latency)
                 misses_tracked.value += 1
@@ -135,7 +144,26 @@ class TraceDrivenCpu:
         self._stats.set("ops", ops)
         self._stats.set("cycles", now)
         self._stats.set("stall_cycles", stalled)
+        self._flush_latency_histogram(hist)
         return now
+
+    def run_kernel(self, trace: PackedTrace) -> int:
+        """Execute a packed trace through the fused flat-store kernel.
+
+        Only valid when :func:`repro.core.kernels.supports` accepts the
+        hierarchy; :meth:`run` performs that dispatch.  Statistics
+        (counters and latency histograms) are bit-identical to
+        :meth:`run_packed` — the kernel shares the object levels'
+        counter cells, MSHR files, and memory port.
+        """
+        engine = kernels.KernelEngine(self._hierarchy)
+        return engine.replay(trace, self._config, self._stats)
+
+    def _flush_latency_histogram(self, hist: List[int]) -> None:
+        """Record per-request latency buckets (bucket = bit_length)."""
+        for bucket, count in enumerate(hist):
+            if count:
+                self._stats.set(LAT_HIST_KEYS[bucket], count)
 
     def run_packed(self, trace: PackedTrace,
                    sampler: Optional[Sampler] = None,
@@ -161,6 +189,7 @@ class TraceDrivenCpu:
         sampling = sampler is not None and sample_every > 0
         view = _PackedRequestView()
         orients, widths, bools = _ORIENTS, _WIDTHS, _BOOLS
+        hist = [0] * len(LAT_HIST_KEYS)
         # Traces are long runs of requests from the same static
         # reference, so the metadata bits (ref_id + flags, the low 19
         # bits) rarely change; decode them only when they do and keep
@@ -192,6 +221,7 @@ class TraceDrivenCpu:
             now += issue_cost
             result = access(view, now)
             ops += 1
+            hist[result.latency.bit_length()] += 1
             if result.latency > pipelined and not is_write:
                 heappush(window, now + result.latency)
                 misses_tracked.value += 1
@@ -208,4 +238,5 @@ class TraceDrivenCpu:
         self._stats.set("ops", ops)
         self._stats.set("cycles", now)
         self._stats.set("stall_cycles", stalled)
+        self._flush_latency_histogram(hist)
         return now

@@ -183,6 +183,12 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="deterministic fault injection, e.g. "
                              "worker_crash:0.1,seed:7 (also read "
                              "from $REPRO_FAULTS)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the sweep under cProfile: dump "
+                             "OUTDIR/profile.pstats and print the top "
+                             "20 functions by cumulative time to "
+                             "stderr (workers under --jobs N run "
+                             "unprofiled; use --jobs 1)")
 
 
 def runner_from_args(args: argparse.Namespace,
@@ -258,8 +264,12 @@ def figure_runner(name: str,
     runner = runner_from_args(args)
     planner = PLANNERS.get(name)
     if planner is not None:
-        run_supervised(supervisor_from_args(args, runner, name),
-                       planner())
+        # Profiling covers the simulation sweep (the figure's own run
+        # loop afterwards is pure memo hits, not worth the overhead).
+        from ..common.profile_util import profiled
+        with profiled(args.outdir, enabled=args.profile):
+            run_supervised(supervisor_from_args(args, runner, name),
+                           planner())
         info = runner.cache_info()
         if info.requests:
             print(f"  [{name}] run cache: {info.describe()}",

@@ -50,8 +50,10 @@ from . import faults
 FAST_MEMORY_FACTOR = 1.6
 
 #: Bump when the on-disk payload layout changes; old entries become
-#: silent misses rather than unpickling hazards.
-CACHE_FORMAT_VERSION = 1
+#: silent misses rather than unpickling hazards.  v2: per-request
+#: latency histogram counters (``cpu.lat_hist_b*``) and the kernelized
+#: replay path's always-present counter cells joined the stats.
+CACHE_FORMAT_VERSION = 2
 
 #: Default location of the persistent run cache, relative to an
 #: experiment output directory.

@@ -22,8 +22,10 @@ timing therefore keys on ``(R, r)`` for rows and ``(C, c)`` for columns.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Dict
+from functools import lru_cache
+from typing import Dict, Tuple
 
 from ..common.config import MemoryConfig
 from ..common.types import Orientation, line_id_parts
@@ -31,6 +33,50 @@ from ..common.types import Orientation, line_id_parts
 
 def _log2(value: int) -> int:
     return value.bit_length() - 1
+
+
+@lru_cache(maxsize=8)
+def interleave_tables(channels: int, ranks_per_channel: int,
+                      banks_per_rank: int, tile_cols_per_bank: int
+                      ) -> Tuple[array, array, array, array, array, int]:
+    """Interleaving decode tables, built once per memory geometry.
+
+    The ``CH | RK | BK | C`` fields all live in the low bits of the
+    tile number (see the module docstring), so one table indexed by
+    those bits replaces the per-field mask/shift chain: returns
+    ``(channel, rank, bank, tile_col, bank_key, low_bits)`` where the
+    first five are flat per-low-bit-pattern lookup arrays (``bank_key``
+    is the dense (channel, rank, bank) index the controller keys its
+    bank map on) and ``low_bits`` is the field width — the tile row is
+    simply ``tile >> low_bits``.
+    """
+    ch_bits = _log2(channels)
+    rk_bits = _log2(ranks_per_channel)
+    bk_bits = _log2(banks_per_rank)
+    c_bits = _log2(tile_cols_per_bank)
+    low_bits = ch_bits + rk_bits + bk_bits + c_bits
+    size = 1 << low_bits
+    chan_t = array("H", bytes(2 * size))
+    rank_t = array("H", bytes(2 * size))
+    bank_t = array("H", bytes(2 * size))
+    col_t = array("H", bytes(2 * size))
+    key_t = array("Q", bytes(8 * size))
+    per_channel = ranks_per_channel * banks_per_rank
+    for low in range(size):
+        bits = low
+        channel = bits & (channels - 1)
+        bits >>= ch_bits
+        rank = bits & (ranks_per_channel - 1)
+        bits >>= rk_bits
+        bank = bits & (banks_per_rank - 1)
+        bits >>= bk_bits
+        chan_t[low] = channel
+        rank_t[low] = rank
+        bank_t[low] = bank
+        col_t[low] = bits & (tile_cols_per_bank - 1)
+        key_t[low] = (channel * per_channel + rank * banks_per_rank
+                      + bank)
+    return chan_t, rank_t, bank_t, col_t, key_t, low_bits
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,14 +117,11 @@ class AddressDecoder:
 
     def __init__(self, config: MemoryConfig) -> None:
         self._config = config
-        self._ch_bits = _log2(config.channels)
-        self._rk_bits = _log2(config.ranks_per_channel)
-        self._bk_bits = _log2(config.banks_per_rank)
-        self._c_bits = _log2(config.tile_cols_per_bank)
-        self._ch_mask = config.channels - 1
-        self._rk_mask = config.ranks_per_channel - 1
-        self._bk_mask = config.banks_per_rank - 1
-        self._c_mask = config.tile_cols_per_bank - 1
+        (self._chan_t, self._rank_t, self._bank_t, self._col_t,
+         self._key_t, self._low_bits) = interleave_tables(
+            config.channels, config.ranks_per_channel,
+            config.banks_per_rank, config.tile_cols_per_bank)
+        self._low_mask = (1 << self._low_bits) - 1
         # Decode is a pure function of (config, line_id) and the hot
         # loop revisits the same lines constantly; memoize per decoder.
         self._decoded: Dict[int, DecodedLine] = {}
@@ -93,15 +136,12 @@ class AddressDecoder:
         if cached is not None:
             return cached
         tile, orientation, index = line_id_parts(line_id)
-        bits = tile
-        channel = bits & self._ch_mask
-        bits >>= self._ch_bits
-        rank = bits & self._rk_mask
-        bits >>= self._rk_bits
-        bank = bits & self._bk_mask
-        bits >>= self._bk_bits
-        tile_col = bits & self._c_mask
-        tile_row = bits >> self._c_bits
+        low = tile & self._low_mask
+        channel = self._chan_t[low]
+        rank = self._rank_t[low]
+        bank = self._bank_t[low]
+        tile_col = self._col_t[low]
+        tile_row = tile >> self._low_bits
         if orientation is Orientation.ROW:
             row_id = tile_row * 8 + index
             col_id = tile_col * 8  # first column the line crosses
@@ -123,8 +163,4 @@ class AddressDecoder:
 
     def bank_key(self, decoded: DecodedLine) -> int:
         """Dense index of the (channel, rank, bank) triple."""
-        per_channel = (self._config.ranks_per_channel
-                       * self._config.banks_per_rank)
-        return (decoded.channel * per_channel
-                + decoded.rank * self._config.banks_per_rank
-                + decoded.bank)
+        return self._key_t[decoded.tile & self._low_mask]

@@ -56,6 +56,55 @@ class TestCommands:
         assert "2P2L_Dense" in out
 
 
+class TestProfileFlag:
+    def test_experiment_parser_accepts_profile(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig12", "--profile"])
+        assert args.profile
+        args = build_parser().parse_args(["experiment", "fig12"])
+        assert not args.profile
+
+    def test_figure_cli_accepts_profile(self):
+        import argparse
+        from repro.experiments.plans import add_engine_arguments
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        assert parser.parse_args(["--profile"]).profile
+        assert not parser.parse_args([]).profile
+
+    def test_profiled_context_writes_pstats(self, tmp_path):
+        import io
+        import pstats
+        from repro.common.profile_util import profiled
+
+        out = io.StringIO()
+        outdir = tmp_path / "results"
+        with profiled(str(outdir), stream=out):
+            sum(range(1000))
+        dump = outdir / "profile.pstats"
+        assert dump.is_file()
+        pstats.Stats(str(dump))  # the dump is loadable
+        text = out.getvalue()
+        assert "cumulative" in text
+        assert str(dump) in text
+
+    def test_profiled_disabled_is_inert(self, tmp_path):
+        from repro.common.profile_util import profiled
+        outdir = tmp_path / "results"
+        with profiled(str(outdir), enabled=False):
+            pass
+        assert not outdir.exists()
+
+    def test_experiment_profile_end_to_end(self, tmp_path, capsys):
+        outdir = tmp_path / "results"
+        assert main(["experiment", "table1", "--profile",
+                     "--outdir", str(outdir)]) == 0
+        captured = capsys.readouterr()
+        assert "L1 D-cache" in captured.out
+        assert (outdir / "profile.pstats").is_file()
+        assert "profile.pstats" in captured.err
+
+
 class TestJournalCommand:
     def _write_journal(self, outdir, suite="fig10"):
         from repro.experiments.runner import RunKey

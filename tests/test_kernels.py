@@ -1,0 +1,236 @@
+"""The structure-of-arrays cache kernels (PR-4 acceptance).
+
+Covers the fused flat-store replay path: coverage dispatch
+(:func:`repro.core.kernels.supports` and the ``kernel_disabled`` pin),
+three-way bit-identity between the object path, ``run_packed``, and
+``run_kernel``, the flat-store replacement edge cases (LRU age
+saturation and compaction, eviction tie-breaking, orientation-bit
+preservation across evictions in same-set mode), and the numpy /
+pure-Python predecode equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import SimulationError
+from repro.common.stats import StatRegistry
+from repro.common.types import (
+    AccessWidth,
+    Orientation,
+    PackedTrace,
+    Request,
+)
+from repro.core import kernels
+from repro.core.cpu import TraceDrivenCpu
+from repro.core.simulator import run_trace
+from repro.core.system import make_system
+from repro.sw.tracegen import generate_packed_trace, generate_trace
+from repro.workloads.registry import build_workload
+
+#: Designs the fused kernel covers (every level physically 1-D, static
+#: orientation, LRU) and the ones that must fall back to run_packed.
+COVERED = ("1P1L", "1P2L", "1P2L_SameSet")
+UNCOVERED = ("1P2L_Dyn", "2P2L", "2P2L_Dense", "2P2L_SlowWrite",
+             "2P2L_L1")
+
+
+def _hierarchy(design, replacement="lru"):
+    system = make_system(design, 1.0)
+    return system, CacheHierarchy(system, StatRegistry(), replacement)
+
+
+class TestSupports:
+    @pytest.mark.parametrize("design", COVERED)
+    def test_covered_designs(self, design):
+        _, hierarchy = _hierarchy(design)
+        assert kernels.supports(hierarchy)
+
+    @pytest.mark.parametrize("design", UNCOVERED)
+    def test_uncovered_designs_fall_back(self, design):
+        _, hierarchy = _hierarchy(design)
+        assert not kernels.supports(hierarchy)
+
+    def test_non_lru_replacement_falls_back(self):
+        _, hierarchy = _hierarchy("1P2L", replacement="fifo")
+        assert not kernels.supports(hierarchy)
+
+    def test_kernel_disabled_pin(self):
+        _, hierarchy = _hierarchy("1P2L")
+        assert kernels.supports(hierarchy)
+        with kernels.kernel_disabled():
+            assert not kernels.supports(hierarchy)
+        assert kernels.supports(hierarchy)
+
+    def test_sampler_falls_back_to_packed(self):
+        # Occupancy sampling needs per-request callbacks the fused
+        # loop elides; cpu.run must route sampled runs to run_packed
+        # (observable: the kernel path never invokes the sampler).
+        system = make_system("1P2L", 1.0)
+        packed = generate_packed_trace(build_workload("sobel", "small"),
+                                       system.logical_dims)
+        stats = StatRegistry()
+        cpu = TraceDrivenCpu(system.cpu,
+                             CacheHierarchy(system, stats), stats)
+        samples = []
+        cpu.run(packed, sampler=lambda ops, now: samples.append(ops),
+                sample_every=256)
+        assert samples
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("design", COVERED)
+    @pytest.mark.parametrize("workload", ["sobel", "htap1"])
+    def test_three_way_bit_identity(self, design, workload):
+        """Object path, run_packed, and run_kernel agree exactly."""
+        system = make_system(design, 1.0)
+        dims = system.logical_dims
+        program = build_workload(workload, "small")
+        objects = list(generate_trace(program, dims))
+        packed = generate_packed_trace(program, dims)
+
+        via_objects = run_trace(make_system(design, 1.0), objects,
+                                name="t")
+        with kernels.kernel_disabled():
+            via_packed = run_trace(make_system(design, 1.0), packed,
+                                   name="t")
+        via_kernel = run_trace(make_system(design, 1.0), packed,
+                               name="t")
+        assert via_kernel.cycles == via_objects.cycles
+        assert via_kernel.ops == via_objects.ops
+        assert via_kernel.stats.flat() == via_objects.stats.flat()
+        assert via_kernel.stats.flat() == via_packed.stats.flat()
+
+    @pytest.mark.parametrize("design", COVERED)
+    def test_age_saturation_compacts_and_preserves_order(
+            self, monkeypatch, design):
+        """Hitting AGE_LIMIT mid-run must not disturb LRU order.
+
+        Shrinking the limit forces many in-place compactions over a
+        real workload; the run must stay bit-identical to the object
+        path, whose LruSet never saturates.
+        """
+        compactions = []
+        original = kernels._FlatStore._compact_ages
+
+        def counting(store):
+            compactions.append(store.level_index)
+            original(store)
+
+        monkeypatch.setattr(kernels, "AGE_LIMIT", 300)
+        monkeypatch.setattr(kernels._FlatStore, "_compact_ages",
+                            counting)
+        system = make_system(design, 1.0)
+        packed = generate_packed_trace(build_workload("sgemm", "small"),
+                                       system.logical_dims)
+        via_kernel = run_trace(make_system(design, 1.0), packed,
+                               name="t")
+        assert compactions, "AGE_LIMIT=300 must force compactions"
+        with kernels.kernel_disabled():
+            reference = run_trace(make_system(design, 1.0), packed,
+                                  name="t")
+        assert via_kernel.cycles == reference.cycles
+        assert via_kernel.stats.flat() == reference.stats.flat()
+
+
+def _row_vector(tile, row):
+    """A vector read of row line ``row`` in ``tile`` (see decoder.py)."""
+    return Request(addr=((tile << 6) | (row << 3)) << 3,
+                   orientation=Orientation.ROW,
+                   width=AccessWidth.VECTOR,
+                   is_write=False, ref_id=0)
+
+
+class TestReplacementEdgeCases:
+    def test_lru_eviction_order_and_tie_break(self):
+        """The single victim scan reproduces exact LRU order.
+
+        Fill one L1 set, touch the oldest line (now MRU), then force
+        two evictions; which lines survive pins down the victim choice
+        (a first-minimal tie-break over the flat set scan, matching
+        the insertion-ordered LruSet).
+        """
+        system = make_system("1P1L", 1.0)
+        l1_cfg = system.levels[0]
+        assoc, stride = l1_cfg.assoc, l1_cfg.num_sets
+        # Tiles ``k * stride`` all map their row 0 to L1 set 0.
+        tiles = [k * stride for k in range(assoc + 1)]
+        reqs = [_row_vector(t, 0) for t in tiles[:assoc]]
+        reqs.append(_row_vector(tiles[0], 0))   # touch A -> MRU
+        reqs.append(_row_vector(tiles[-1], 0))  # miss: evicts B
+        reqs.append(_row_vector(tiles[1], 0))   # B again: miss, evicts C
+        reqs.append(_row_vector(tiles[0], 0))   # A survived: hit
+        packed = PackedTrace.from_requests(reqs)
+
+        via_kernel = run_trace(make_system("1P1L", 1.0), packed,
+                               name="t")
+        with kernels.kernel_disabled():
+            reference = run_trace(make_system("1P1L", 1.0), packed,
+                                  name="t")
+        assert via_kernel.stats.flat() == reference.stats.flat()
+        flat = via_kernel.stats.flat()
+        assert flat["cache.L1.hits"] == 2
+        assert flat["cache.L1.misses"] == assoc + 2
+        assert flat["cache.L1.evictions"] == 2
+
+    def test_orientation_bits_preserved_across_evictions(self):
+        """Same-set mode: meta orientation always mirrors the tag.
+
+        Rows and columns share sets under the same-set mapping, so
+        evictions constantly replace one orientation with the other;
+        every valid slot's orientation bit (meta bit 1) must track the
+        installed tag's orientation bit, and ``slot_of`` must stay a
+        perfect inverse of the tag array.
+        """
+        system = make_system("1P2L_SameSet", 1.0)
+        stats = StatRegistry()
+        hierarchy = CacheHierarchy(system, stats)
+        packed = generate_packed_trace(build_workload("sgemm", "small"),
+                                       system.logical_dims)
+        engine = kernels.KernelEngine(hierarchy)
+        engine.replay(packed, system.cpu, stats.group("cpu"))
+
+        assert stats.flat()["cache.L1.evictions"] > 0
+        l1_orients = set()
+        for store in engine.levels:
+            if not isinstance(store, kernels._Kernel2L):
+                continue
+            valid = 0
+            for slot, meta in enumerate(store.meta):
+                if not meta & 1:
+                    continue
+                valid += 1
+                line = store.tags[slot]
+                assert (meta >> 1) & 1 == (line >> 3) & 1
+                assert store.slot_of[line] == slot
+                if store is engine.levels[0]:
+                    l1_orients.add((line >> 3) & 1)
+            assert valid == len(store.slot_of)
+        # The check is only meaningful if both orientations are live.
+        assert l1_orients == {0, 1}
+
+
+class TestPredecode:
+    @pytest.mark.skipif(kernels._np is None, reason="numpy not present")
+    def test_numpy_and_fallback_agree(self, monkeypatch):
+        program = build_workload("sobel", "small")
+        packed_2d = generate_packed_trace(program, 2)
+        packed_1d = generate_packed_trace(program, 1)
+        with_np_2l = kernels._predecode_2l(packed_2d.words)
+        with_np_1l = kernels._predecode_1l(packed_1d.words)
+        monkeypatch.setattr(kernels, "_np", None)
+        assert kernels._predecode_2l(packed_2d.words) == with_np_2l
+        assert kernels._predecode_1l(packed_1d.words) == with_np_1l
+
+    def test_1l_rejects_column_lines(self, monkeypatch):
+        column = Request(addr=0, orientation=Orientation.COLUMN,
+                         width=AccessWidth.VECTOR, is_write=False,
+                         ref_id=0)
+        words = PackedTrace.from_requests([column]).words
+        if kernels._np is not None:
+            with pytest.raises(SimulationError):
+                kernels._predecode_1l(words)
+        monkeypatch.setattr(kernels, "_np", None)
+        with pytest.raises(SimulationError):
+            kernels._predecode_1l(words)
