@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI smoke for the simulation service (``repro serve``).
+
+Starts the real server as a subprocess, fires 50 concurrent requests
+with >30% duplicates through the async client, and asserts the
+acceptance behaviours end to end:
+
+* every response is well-formed and identical configs agree;
+* ``/metrics`` shows duplicates were coalesced or cache-served (each
+  distinct config simulated exactly once);
+* queue depth returns to zero;
+* SIGTERM drains the server, flushes the journal, and exits 0.
+
+Exits non-zero with a diagnostic on the first violated check.
+
+Usage: ``python benchmarks/service_smoke.py [outdir]``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+
+REQUESTS = 50
+DESIGNS = ("1P1L", "1P2L", "2P2L", "1P2L_SameSet", "2P2L_Dense")
+LLC_POINTS = (1.0, 2.0)
+
+
+def fail(message: str) -> None:
+    print(f"service-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+async def drive(port: int) -> None:
+    from repro.service.client import AsyncServiceClient, RetryConfig
+    client = AsyncServiceClient(
+        port=port, retry=RetryConfig(max_retries=6, backoff_base=0.2))
+
+    distinct = [{"design": d, "workload": "sobel", "llc_mb": mb}
+                for d in DESIGNS for mb in LLC_POINTS]  # 10 configs
+    bodies = (distinct * ((REQUESTS // len(distinct)) + 1))[:REQUESTS]
+    duplicates = len(bodies) - len(distinct)
+    assert duplicates / len(bodies) > 0.30
+
+    print(f"service-smoke: firing {len(bodies)} concurrent requests "
+          f"({len(distinct)} distinct, {duplicates} duplicates)")
+    results = await asyncio.gather(
+        *(client.request("POST", "/simulate", body) for body in bodies))
+
+    by_key = {}
+    for body in results:
+        if body.get("cycles", 0) <= 0:
+            fail(f"bad response: {body}")
+        by_key.setdefault((body["design"], body["llc_mb"]),
+                          set()).add(body["cycles"])
+    for config, cycles in by_key.items():
+        if len(cycles) != 1:
+            fail(f"config {config} returned differing cycles: {cycles}")
+
+    text = await client.metrics()
+    metrics = {}
+    for line in text.splitlines():
+        match = re.match(r"(repro_\w+?)(?:\{[^}]*\})? ([\d.e+-]+)$",
+                         line)
+        if match:
+            name, value = match.group(1), float(match.group(2))
+            metrics[name] = metrics.get(name, 0.0) + value
+
+    simulated = metrics.get("repro_simulated_total", 0)
+    coalesced = metrics.get("repro_coalesced_total", 0)
+    cache_hits = metrics.get("repro_cache_hits_total", 0)
+    depth = metrics.get("repro_queue_depth", -1)
+    hit_ratio = metrics.get("repro_cache_hit_ratio", 0)
+    print(f"service-smoke: simulated={simulated:.0f} "
+          f"coalesced={coalesced:.0f} cache_hits={cache_hits:.0f} "
+          f"queue_depth={depth:.0f} hit_ratio={hit_ratio:.3f}")
+
+    if simulated != len(distinct):
+        fail(f"expected {len(distinct)} simulations, got {simulated}")
+    if coalesced + cache_hits != duplicates:
+        fail(f"expected {duplicates} coalesced+cached duplicates, got "
+             f"{coalesced + cache_hits}")
+    if coalesced <= 0:
+        fail("no requests were coalesced under concurrent load")
+    if depth != 0:
+        fail(f"queue depth did not return to zero: {depth}")
+    if hit_ratio <= 0.30:
+        fail(f"cache-hit ratio too low: {hit_ratio}")
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "results-service"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--outdir", outdir],
+        stderr=subprocess.PIPE, text=True)
+    try:
+        line = proc.stderr.readline()
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if not match:
+            fail(f"no readiness line from server, got: {line!r}")
+        port = int(match.group(1))
+        print(f"service-smoke: server up on port {port}")
+        asyncio.run(drive(port))
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        if code != 0:
+            fail(f"server exited {code} after SIGTERM, want 0")
+        journal = os.path.join(outdir, ".runjournal", "service.jsonl")
+        if not os.path.exists(journal):
+            fail(f"journal missing after drain: {journal}")
+        print("service-smoke: PASS (drained cleanly, exit 0, "
+              "journal flushed)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,14 @@ Commands:
 * ``journal``    — inspect a sweep's lifecycle journal
   (``OUTDIR/.runjournal/<suite>.jsonl``): what finished, what failed,
   what a dead sweep was doing when it stopped.
+* ``serve``      — run the simulation service: an HTTP server that
+  answers JSON simulation requests from the shared result cache,
+  coalesces duplicates, and batches the rest through the supervisor
+  (see ``docs/SERVICE.md``).
 
-Exit codes: 0 success, 2 usage error, 3 a supervised sweep had
-permanently failed points, 130 interrupted by SIGINT/SIGTERM.
+Exit codes: 0 success (including a ``serve`` drained by SIGTERM),
+2 usage error, 3 a supervised sweep had permanently failed points,
+130 interrupted by SIGINT/SIGTERM.
 """
 
 from __future__ import annotations
@@ -98,6 +103,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _quarantined_entries(outdir: str) -> int:
+    """Corrupt cache entries quarantined under ``OUTDIR/.runcache``."""
+    import os
+    from .experiments.runner import QUARANTINE_SUFFIX, RUNCACHE_DIRNAME
+    cache_dir = os.path.join(outdir, RUNCACHE_DIRNAME)
+    try:
+        names = os.listdir(cache_dir)
+    except OSError:
+        return 0
+    return sum(1 for name in names
+               if name.endswith(QUARANTINE_SUFFIX))
+
+
 def _cmd_journal(args: argparse.Namespace) -> int:
     import os
     from .experiments.supervisor import (
@@ -123,6 +141,10 @@ def _cmd_journal(args: argparse.Namespace) -> int:
                                in sorted(state.counts().items()))
             flag = " [interrupted]" if state.interrupted else ""
             print(f"{suite}: {counts or 'empty'}{flag}")
+        quarantined = _quarantined_entries(args.outdir)
+        if quarantined:
+            print(f"corrupt_quarantined: {quarantined} cache entries "
+                  f"under {args.outdir}")
         return 0
     journal = RunJournal.for_suite(args.outdir, args.suite)
     if not journal.exists():
@@ -136,6 +158,9 @@ def _cmd_journal(args: argparse.Namespace) -> int:
              if state.corrupt_lines else ""))
     if state.interrupted:
         print("status:  INTERRUPTED (resume with --resume)")
+    quarantined = _quarantined_entries(args.outdir)
+    if quarantined:
+        print(f"corrupt_quarantined: {quarantined} cache entries")
     for name, count in sorted(state.counts().items()):
         print(f"  {name:<9} {count}")
     unfinished = state.in_state("running") + state.in_state("pending")
@@ -156,6 +181,25 @@ def _cmd_journal(args: argparse.Namespace) -> int:
                 print(f"  ... and {remaining} more")
             break
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .experiments.plans import (
+        runner_from_args,
+        supervisor_from_args,
+    )
+    from .service.batching import SimulationService
+    from .service.server import serve_main
+    runner = runner_from_args(args, verbose=False)
+    # The service owns SIGTERM/SIGINT (graceful drain); the supervisor
+    # must not install its own handlers from the dispatcher thread.
+    supervisor = supervisor_from_args(args, runner, suite="service",
+                                      handle_signals=False)
+    service = SimulationService(runner, supervisor,
+                                max_pending=args.max_pending,
+                                max_batch=args.max_batch,
+                                batch_window=args.batch_window)
+    return serve_main(service, host=args.host, port=args.port)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -303,6 +347,30 @@ def build_parser() -> argparse.ArgumentParser:
                            help="show at most N failed/unfinished "
                                 "runs (default: 20)")
     journal_p.set_defaults(func=_cmd_journal)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the simulation service (HTTP)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8371,
+                         help="bind port; 0 picks a free port "
+                              "(default: 8371)")
+    serve_p.add_argument("--max-pending", type=int, default=256,
+                         metavar="N",
+                         help="admission-queue bound; requests beyond "
+                              "it get 429 (default: 256)")
+    serve_p.add_argument("--max-batch", type=int, default=32,
+                         metavar="N",
+                         help="largest simulation batch dispatched to "
+                              "the supervisor (default: 32)")
+    serve_p.add_argument("--batch-window", type=float, default=0.02,
+                         metavar="SECS",
+                         help="wait after the first queued request so "
+                              "concurrent requests share a batch "
+                              "(default: 0.02)")
+    from .experiments.plans import add_engine_arguments
+    add_engine_arguments(serve_p)
+    serve_p.set_defaults(func=_cmd_serve)
 
     sweep_p = sub.add_parser("sweep",
                              help="all designs on one workload")

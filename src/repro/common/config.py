@@ -271,3 +271,70 @@ class SystemConfig:
 
 
 DEFAULT_MLP_WINDOW = CpuConfig().mlp_window
+
+
+# -- config overrides ---------------------------------------------------------
+#
+# The simulation service accepts per-request SystemConfig overrides as
+# dotted paths ("cpu.mlp_window", "memory.sub_buffers", "llc.assoc").
+# Overrides funnel through apply_overrides so every entry point applies
+# them identically and every value is re-validated by the dataclass
+# __post_init__ checks above.
+
+#: Override targets: dotted-path prefix -> SystemConfig attribute.
+#: ``llc`` addresses the last cache level; ``cpu`` and ``memory`` their
+#: sub-configs.  Structural fields (the level stack itself) are not
+#: overridable — they are what the design name selects.
+OVERRIDE_SCOPES = ("cpu", "memory", "llc")
+
+#: Fields that cannot be overridden even inside a valid scope (they
+#: change identity, not behavior).
+_OVERRIDE_BLOCKED = frozenset({"name"})
+
+
+def _override_one(obj, field_name: str, value):
+    """``replace(obj, field=value)`` with schema checking."""
+    if field_name in _OVERRIDE_BLOCKED or field_name.startswith("_"):
+        raise ConfigError(f"field {field_name!r} is not overridable")
+    fields = {f.name for f in obj.__dataclass_fields__.values()}
+    if field_name not in fields:
+        raise ConfigError(
+            f"unknown field {field_name!r} on {type(obj).__name__}")
+    if not isinstance(value, (bool, int, float, str)):
+        raise ConfigError(
+            f"override value for {field_name!r} must be a scalar, "
+            f"got {type(value).__name__}")
+    return replace(obj, **{field_name: value})
+
+
+def apply_overrides(system: "SystemConfig", overrides) -> "SystemConfig":
+    """A copy of ``system`` with dotted-path overrides applied.
+
+    ``overrides`` maps ``"scope.field"`` (scope in
+    :data:`OVERRIDE_SCOPES`) to a scalar value, e.g.
+    ``{"cpu.mlp_window": 8, "memory.sub_buffers": 4,
+    "llc.mshr_entries": 32}``.  Every resulting config re-runs its
+    ``__post_init__`` validation; any malformed path, unknown field, or
+    invalid value raises :class:`ConfigError`.
+    """
+    if not overrides:
+        return system
+    cpu, memory, levels = system.cpu, system.memory, list(system.levels)
+    for path in sorted(overrides):
+        value = overrides[path]
+        scope, dot, field_name = str(path).partition(".")
+        if not dot or not field_name or "." in field_name:
+            raise ConfigError(
+                f"override path {path!r} must be 'scope.field' with "
+                f"scope in {OVERRIDE_SCOPES}")
+        if scope == "cpu":
+            cpu = _override_one(cpu, field_name, value)
+        elif scope == "memory":
+            memory = _override_one(memory, field_name, value)
+        elif scope == "llc":
+            levels[-1] = _override_one(levels[-1], field_name, value)
+        else:
+            raise ConfigError(
+                f"unknown override scope {scope!r}; expected one of "
+                f"{OVERRIDE_SCOPES}")
+    return replace(system, cpu=cpu, memory=memory, levels=levels)

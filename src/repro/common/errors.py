@@ -68,6 +68,55 @@ class PermanentRunError(ExperimentError):
     """A run failed deterministically; retrying would fail identically."""
 
 
+# -- simulation service -------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for simulation-service (server/client) failures."""
+
+
+class ValidationFailed(ServiceError):
+    """A service request did not validate against the config schema.
+
+    Maps to HTTP 400: the request is malformed or names an unknown
+    design/workload/override, and retrying it unchanged cannot help.
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """The admission queue is full; the caller should back off.
+
+    Maps to HTTP 429 with a ``Retry-After`` hint — explicit
+    backpressure instead of unbounded queueing.
+    """
+
+    def __init__(self, message: str = "admission queue full",
+                 retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class SimulationFailed(ServiceError):
+    """A served simulation point failed permanently (HTTP 500).
+
+    The supervisor already spent the retry budget; the message carries
+    the final error string from the sweep report.
+    """
+
+
+class ServiceDraining(ServiceError):
+    """The server is draining (SIGTERM) and accepts no new work.
+
+    Maps to HTTP 503 with a ``Retry-After`` hint; in-flight requests
+    still complete.
+    """
+
+    def __init__(self, message: str = "server draining",
+                 retry_after: float = 5.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SweepInterrupted(ExperimentError):
     """A sweep was stopped by SIGINT/SIGTERM; journal was flushed.
 

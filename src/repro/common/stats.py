@@ -13,6 +13,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
+#: Shared latency-histogram bucket scheme: one counter per power-of-two
+#: bucket, ``bucket = int(value).bit_length()`` (value 0 lands in bucket
+#: 0, 1 in bucket 1, 2-3 in bucket 2, ...).  The replay paths
+#: (``run`` / ``run_packed`` / ``run_kernel``) record per-request cycle
+#: latencies under these keys, and the service layer reuses the same
+#: scheme for its per-stage wall-clock histograms so every histogram in
+#: the system is bucket-compatible.
+LAT_HIST_KEYS = tuple(f"lat_hist_b{b:02d}" for b in range(160))
+
+
+def lat_bucket(value: int) -> int:
+    """Bucket index of ``value`` under the shared log2 scheme."""
+    bucket = int(value).bit_length()
+    last = len(LAT_HIST_KEYS) - 1
+    return bucket if bucket < last else last
+
 
 @dataclass(slots=True)
 class Sample:

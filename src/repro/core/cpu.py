@@ -35,7 +35,7 @@ from ..common.types import (
     line_words,
 )
 from . import kernels
-from .kernels import LAT_HIST_KEYS
+from ..common.stats import LAT_HIST_KEYS
 
 #: Callback invoked as sampler(ops_retired, now_cycles).
 Sampler = Callable[[int, int], None]

@@ -55,12 +55,12 @@ policies, and occupancy-sampled runs stay on the reference
 from __future__ import annotations
 
 from array import array
-from contextlib import contextmanager
 from functools import lru_cache
 from heapq import heappop, heappush
 from typing import Dict, List
 
 from ..common.errors import SimulationError
+from ..common.stats import LAT_HIST_KEYS
 from ..common.types import AccessWidth
 
 try:  # optional accelerator for trace predecode (pure fallback below)
@@ -78,10 +78,11 @@ KERNEL_ENABLED = True
 #: to force compaction on tiny traces.
 AGE_LIMIT = 1 << 46
 
-#: Latency histogram counter keys (bucket = latency.bit_length()),
-#: shared by run / run_packed / run_kernel so the histograms are
-#: bit-comparable across paths.
-LAT_HIST_KEYS = tuple(f"lat_hist_b{b:02d}" for b in range(160))
+# LAT_HIST_KEYS (bucket = latency.bit_length()) is shared by run /
+# run_packed / run_kernel so the histograms are bit-comparable across
+# paths; the canonical definition lives in repro.common.stats (the
+# service layer reuses the same scheme) and is re-exported here for
+# existing importers.
 
 _SCALAR = AccessWidth.SCALAR
 _VECTOR = AccessWidth.VECTOR
@@ -115,16 +116,49 @@ def supports(hierarchy) -> bool:
     return True
 
 
-@contextmanager
-def kernel_disabled():
-    """Force the reference ``run_packed`` path within the block."""
-    global KERNEL_ENABLED
-    prior = KERNEL_ENABLED
-    KERNEL_ENABLED = False
-    try:
-        yield
-    finally:
-        KERNEL_ENABLED = prior
+class _KernelDisabled:
+    """Context manager forcing the reference ``run_packed`` path.
+
+    Restores the *prior* state on exit no matter how the block ends
+    (exception, assertion failure, ``pytest.fail``), so a failing bench
+    or test cannot leak the pin into later tests.  Unlike the previous
+    generator-based implementation, an instance that is garbage
+    collected without a clean ``__exit__`` (e.g. a bench fixture torn
+    down mid-block) still restores via ``__del__``, each instance nests
+    correctly, and entering twice is rejected instead of silently
+    saving the wrong prior state.
+    """
+
+    __slots__ = ("_prior",)
+
+    def __init__(self) -> None:
+        self._prior = None
+
+    def __enter__(self) -> "_KernelDisabled":
+        global KERNEL_ENABLED
+        if self._prior is not None:
+            raise RuntimeError("kernel_disabled() context entered "
+                               "twice; create a fresh one per block")
+        self._prior = KERNEL_ENABLED
+        KERNEL_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+
+    def __del__(self) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        global KERNEL_ENABLED
+        if self._prior is not None:
+            KERNEL_ENABLED = self._prior
+            self._prior = None
+
+
+def kernel_disabled() -> _KernelDisabled:
+    """Force the reference ``run_packed`` path within a ``with`` block."""
+    return _KernelDisabled()
 
 
 @lru_cache(maxsize=1)

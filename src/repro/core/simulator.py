@@ -140,16 +140,17 @@ def trace_cache_info() -> Dict[str, int]:
 
     ``hits``/``misses``/``entries`` describe the in-process memo;
     ``store_hits``/``store_misses`` the persistent trace store (both 0
-    when no store is configured); ``store_corrupt`` counts corrupt
-    store entries the store quarantined; ``generated`` counts actual
+    when no store is configured); ``corrupt_quarantined`` counts corrupt
+    store entries the store quarantined (the same counter name the run
+    cache's ``cache_info`` reports); ``generated`` counts actual
     kernel walks performed by this process.
     """
     return {"hits": _trace_cache_hits, "misses": _trace_cache_misses,
             "entries": len(_TRACE_CACHE),
             "store_hits": _trace_store_hits,
             "store_misses": _trace_store_misses,
-            "store_corrupt": (_TRACE_STORE.corrupt_evictions
-                              if _TRACE_STORE is not None else 0),
+            "corrupt_quarantined": (_TRACE_STORE.corrupt_quarantined
+                                    if _TRACE_STORE is not None else 0),
             "generated": _traces_generated}
 
 

@@ -205,12 +205,15 @@ def runner_from_args(args: argparse.Namespace,
 
 def supervisor_from_args(args: argparse.Namespace,
                          runner: ExperimentRunner,
-                         suite: str) -> Supervisor:
+                         suite: str,
+                         handle_signals: bool = True) -> Supervisor:
     """A :class:`Supervisor` configured by the shared CLI flags.
 
     The lifecycle journal lives at ``OUTDIR/.runjournal/<suite>.jsonl``
     regardless of ``--no-cache`` (the journal records what happened;
-    the cache records results).
+    the cache records results).  The simulation service reuses this
+    builder with ``handle_signals=False`` — it supervises batches from
+    a worker thread and owns SIGTERM itself.
     """
     fault_plan = None
     if getattr(args, "inject_faults", None):
@@ -220,8 +223,9 @@ def supervisor_from_args(args: argparse.Namespace,
         journal=RunJournal.for_suite(args.outdir, suite),
         policy=RetryPolicy(max_retries=max(0, args.max_retries)),
         run_timeout=args.run_timeout,
-        resume=args.resume,
-        fault_plan=fault_plan)
+        resume=getattr(args, "resume", False),
+        fault_plan=fault_plan,
+        handle_signals=handle_signals)
 
 
 def run_supervised(supervisor: Supervisor,

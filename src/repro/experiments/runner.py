@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..common.config import MemoryConfig, SystemConfig
+from ..common.config import MemoryConfig, SystemConfig, apply_overrides
 from ..common.errors import LockTimeout
 from ..common.locking import file_lock, lock_path_for
 from ..core.simulator import (
@@ -62,7 +62,14 @@ RUNCACHE_DIRNAME = ".runcache"
 
 @dataclass(frozen=True)
 class RunKey:
-    """Identity of one simulation point."""
+    """Identity of one simulation point.
+
+    ``overrides`` carries optional :class:`SystemConfig` overrides as a
+    sorted tuple of ``(dotted_path, value)`` pairs (hashable, so keys
+    with overrides still memoize) — see
+    :func:`repro.common.config.apply_overrides` for the path schema.
+    The figure planners never set it; the simulation service does.
+    """
 
     design: str
     workload: str
@@ -71,6 +78,7 @@ class RunKey:
     resident: bool
     memory: str  # "default" or "fast"
     sample_every: int
+    overrides: Tuple[Tuple[str, object], ...] = ()
 
 
 def memory_config(variant: str) -> MemoryConfig:
@@ -87,8 +95,12 @@ def system_for_key(key: RunKey) -> SystemConfig:
     """Build the fully-resolved system a run key describes."""
     mem_cfg = memory_config(key.memory)
     if key.resident:
-        return make_resident_system(key.design, memory=mem_cfg)
-    return make_system(key.design, key.llc_mb, memory=mem_cfg)
+        system = make_resident_system(key.design, memory=mem_cfg)
+    else:
+        system = make_system(key.design, key.llc_mb, memory=mem_cfg)
+    if key.overrides:
+        system = apply_overrides(system, dict(key.overrides))
+    return system
 
 
 def simulate_run_key(key: RunKey) -> RunResult:
@@ -116,9 +128,15 @@ def config_fingerprint(system: SystemConfig) -> str:
 
 def cache_key(key: RunKey) -> str:
     """Filename-safe persistent-cache key for one simulation point."""
+    key_fields = dataclasses.asdict(key)
+    if not key_fields.get("overrides"):
+        # Keys without overrides hash exactly as they did before the
+        # field existed, keeping pre-existing cache entries and journal
+        # identities valid.
+        key_fields.pop("overrides", None)
     payload = {
         "format": CACHE_FORMAT_VERSION,
-        "key": dataclasses.asdict(key),
+        "key": key_fields,
         "config": config_fingerprint(system_for_key(key)),
     }
     blob = json.dumps(payload, sort_keys=True)
@@ -135,7 +153,7 @@ class RunCache:
     One pickle per simulation point, written atomically; a corrupt or
     format-mismatched entry reads as a miss, never as an error.  A
     corrupt entry is additionally *quarantined* — renamed to
-    ``<entry>.pkl.corrupt`` and counted in :attr:`corrupt_evictions` —
+    ``<entry>.pkl.corrupt`` and counted in :attr:`corrupt_quarantined` —
     so it is read (and fails) once instead of on every lookup, and the
     bad bytes survive for postmortem inspection.
 
@@ -151,7 +169,7 @@ class RunCache:
         self._root = root
         self._lock_timeout = lock_timeout
         #: Corrupt entries quarantined by :meth:`load` so far.
-        self.corrupt_evictions = 0
+        self.corrupt_quarantined = 0
         #: Best-effort writes skipped because the lock stayed held.
         self.lock_timeouts = 0
 
@@ -212,7 +230,7 @@ class RunCache:
             os.replace(path, path + QUARANTINE_SUFFIX)
         except OSError:
             return
-        self.corrupt_evictions += 1
+        self.corrupt_quarantined += 1
 
     def clear(self) -> int:
         """Delete every cache entry (quarantined ones too); returns
@@ -242,7 +260,7 @@ class CacheInfo:
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
-    corrupt_evictions: int = 0
+    corrupt_quarantined: int = 0
     lock_timeouts: int = 0
 
     @property
@@ -260,8 +278,8 @@ class CacheInfo:
     def describe(self) -> str:
         text = (f"{self.memory_hits} memo hits, {self.disk_hits} disk "
                 f"hits, {self.misses} simulated")
-        if self.corrupt_evictions:
-            text += (f", {self.corrupt_evictions} corrupt entries "
+        if self.corrupt_quarantined:
+            text += (f", {self.corrupt_quarantined} corrupt entries "
                      f"quarantined")
         if self.lock_timeouts:
             text += f", {self.lock_timeouts} writes skipped (lock held)"
@@ -427,7 +445,7 @@ class ExperimentRunner:
         """A snapshot of the hit/miss accounting so far."""
         info = dataclasses.replace(self._info)
         if self._disk is not None:
-            info.corrupt_evictions = self._disk.corrupt_evictions
+            info.corrupt_quarantined = self._disk.corrupt_quarantined
             info.lock_timeouts = self._disk.lock_timeouts
         return info
 

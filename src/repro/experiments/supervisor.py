@@ -382,6 +382,12 @@ class Supervisor:
             persistent run cache as usual).
         fault_plan: arm deterministic fault injection for this sweep
             (also inherited by pool workers).
+        handle_signals: install SIGINT/SIGTERM handlers around
+            :meth:`supervise` (the CLI default).  The simulation
+            service supervises batches from a worker thread and owns
+            signal handling itself, so it passes ``False`` — the
+            handlers would be silently skipped off the main thread
+            anyway, but being explicit keeps the lifecycle deliberate.
         sleep/clock: injectable timing for tests.
     """
 
@@ -394,6 +400,7 @@ class Supervisor:
                  poll_interval: float = 0.05,
                  resume: bool = False,
                  fault_plan: Optional[faults.FaultPlan] = None,
+                 handle_signals: bool = True,
                  sleep=time.sleep,
                  clock=time.time) -> None:
         self._runner = runner
@@ -404,6 +411,7 @@ class Supervisor:
         self._hb_timeout = heartbeat_timeout
         self._poll = poll_interval
         self._resume = resume
+        self._handle_signals = handle_signals
         self._sleep = sleep
         self._clock = clock
         self._stop_signal: Optional[int] = None
@@ -497,6 +505,8 @@ class Supervisor:
 
     def _install_handlers(self):
         handlers = {}
+        if not self._handle_signals:
+            return handlers
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
                 handlers[signum] = signal.signal(

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: the traffic-facing layer over the engine.
+
+PRs 1-4 built a fast, fault-tolerant *offline* engine — process-pool
+scheduling, packed traces, SoA kernels, supervised retries — but every
+entry point was a batch CLI.  This package turns that engine into a
+server: an asyncio HTTP/1.1 service (stdlib only) that accepts JSON
+simulation requests, validates them against the config schema,
+coalesces identical in-flight requests, batches distinct ones into
+:class:`~repro.experiments.runner.RunKey` plans, and dispatches through
+the existing :class:`~repro.experiments.supervisor.Supervisor` so the
+retry/timeout/fault taxonomy and the journal carry over unchanged.
+
+Modules:
+
+* :mod:`.protocol` — request/response JSON schema and validation;
+* :mod:`.batching` — admission control, coalescing, batch dispatch;
+* :mod:`.metrics` — Prometheus-text-format metric primitives;
+* :mod:`.server` — the asyncio HTTP server (``repro serve``);
+* :mod:`.client` — sync + async client library with retry/backoff.
+"""
+
+from .batching import SimulationService
+from .client import AsyncServiceClient, RetryConfig, ServiceClient
+from .metrics import MetricsRegistry
+from .protocol import parse_request, result_payload
+from .server import ServiceServer, serve_main
+
+__all__ = [
+    "AsyncServiceClient",
+    "MetricsRegistry",
+    "RetryConfig",
+    "ServiceClient",
+    "ServiceServer",
+    "SimulationService",
+    "parse_request",
+    "result_payload",
+    "serve_main",
+]

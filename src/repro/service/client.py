@@ -1,0 +1,283 @@
+"""Clients for the simulation service (sync and async, stdlib only).
+
+:class:`ServiceClient` wraps :mod:`http.client` for scripts and tests;
+:class:`AsyncServiceClient` speaks the same protocol over raw asyncio
+streams for high-concurrency callers.  Both share one retry policy
+(:class:`RetryConfig`): 429/503 responses and connection-level errors
+are retried with exponential backoff, and when the server includes a
+``Retry-After`` header (or ``retry_after`` JSON field) that value wins
+over the computed delay — the server's estimate reflects the actual
+queue, the client's formula does not.
+
+400 and 500 responses are never retried: validation failures and
+permanently failed simulations would fail identically again.  They
+surface as :class:`ValidationFailed` / :class:`SimulationFailed`; a
+retry budget exhausted on backpressure surfaces as the last
+:class:`AdmissionRejected` / :class:`ServiceDraining`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..common.errors import (
+    AdmissionRejected,
+    ServiceDraining,
+    ServiceError,
+    SimulationFailed,
+    ValidationFailed,
+)
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Backoff policy for retryable (429/503/connection) failures."""
+
+    max_retries: int = 5
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_cap: float = 10.0
+
+    def delay(self, attempt: int,
+              retry_after: Optional[float] = None) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based)."""
+        if retry_after is not None and retry_after > 0:
+            return min(float(retry_after), self.backoff_cap)
+        return min(self.backoff_base * self.backoff_factor ** attempt,
+                   self.backoff_cap)
+
+
+def _error_for(status: int, payload: Any,
+               headers: Dict[str, str]) -> ServiceError:
+    message = payload.get("error", f"HTTP {status}") \
+        if isinstance(payload, dict) else f"HTTP {status}"
+    retry_after = None
+    header = headers.get("retry-after")
+    if header is not None:
+        try:
+            retry_after = float(header)
+        except ValueError:
+            retry_after = None
+    if retry_after is None and isinstance(payload, dict):
+        retry_after = payload.get("retry_after")
+    if status == 400:
+        return ValidationFailed(message)
+    if status == 429:
+        return AdmissionRejected(message, retry_after=retry_after or 1.0)
+    if status == 503:
+        return ServiceDraining(message, retry_after=retry_after or 5.0)
+    return SimulationFailed(message)
+
+
+def _retryable(exc: ServiceError) -> Tuple[bool, Optional[float]]:
+    if isinstance(exc, (AdmissionRejected, ServiceDraining)):
+        return True, exc.retry_after
+    return False, None
+
+
+class ServiceClient:
+    """Blocking client over :mod:`http.client`.
+
+    One client holds one keep-alive connection; it reconnects
+    transparently after connection-level errors.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8371,
+                 retry: Optional[RetryConfig] = None,
+                 timeout: float = 300.0) -> None:
+        self._host = host
+        self._port = port
+        self._retry = retry or RetryConfig()
+        self._timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def simulate(self, design: str, workload: str, **fields: Any
+                 ) -> Dict[str, Any]:
+        """POST one point to ``/simulate`` and return the result body.
+
+        ``fields`` are the optional request fields (``size``,
+        ``llc_mb``, ``resident``, ``memory``, ``sample_every``,
+        ``overrides``, ``stats``).
+        """
+        body = {"design": design, "workload": workload, **fields}
+        return self.request("POST", "/simulate", body)
+
+    def simulate_batch(self, points: List[Dict[str, Any]]
+                       ) -> List[Dict[str, Any]]:
+        """POST a list of points to ``/batch``."""
+        return self.request("POST", "/batch", points)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self.request("GET", "/metrics", raw=True)
+
+    # -- transport -----------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Any = None, raw: bool = False) -> Any:
+        last_error: Optional[Exception] = None
+        for attempt in range(self._retry.max_retries + 1):
+            try:
+                status, headers, payload = self._once(
+                    method, path, body, raw)
+            except (ConnectionError, OSError,
+                    http.client.HTTPException) as exc:
+                self.close()
+                last_error = exc
+                if attempt < self._retry.max_retries:
+                    time.sleep(self._retry.delay(attempt))
+                continue
+            if status == 200:
+                return payload
+            error = _error_for(status, payload, headers)
+            should_retry, retry_after = _retryable(error)
+            last_error = error
+            if not should_retry:
+                raise error
+            if attempt < self._retry.max_retries:
+                time.sleep(self._retry.delay(attempt, retry_after))
+        assert last_error is not None
+        raise last_error
+
+    def _once(self, method: str, path: str, body: Any,
+              raw: bool) -> Tuple[int, Dict[str, str], Any]:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout)
+        encoded = None
+        headers = {}
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        self._conn.request(method, path, body=encoded, headers=headers)
+        response = self._conn.getresponse()
+        data = response.read()
+        header_map = {k.lower(): v for k, v in response.getheaders()}
+        if raw:
+            return response.status, header_map, data.decode("utf-8")
+        try:
+            payload = json.loads(data.decode("utf-8")) if data else None
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = None
+        return response.status, header_map, payload
+
+
+class AsyncServiceClient:
+    """Asyncio client speaking HTTP/1.1 over a raw stream pair.
+
+    Unlike the sync client it opens one connection per request, which
+    keeps concurrent ``asyncio.gather`` fan-outs trivially correct (no
+    shared connection to serialize on).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8371,
+                 retry: Optional[RetryConfig] = None) -> None:
+        self._host = host
+        self._port = port
+        self._retry = retry or RetryConfig()
+
+    async def simulate(self, design: str, workload: str,
+                       **fields: Any) -> Dict[str, Any]:
+        body = {"design": design, "workload": workload, **fields}
+        return await self.request("POST", "/simulate", body)
+
+    async def simulate_batch(self, points: List[Dict[str, Any]]
+                             ) -> List[Dict[str, Any]]:
+        return await self.request("POST", "/batch", points)
+
+    async def healthz(self) -> Dict[str, Any]:
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> str:
+        return await self.request("GET", "/metrics", raw=True)
+
+    async def request(self, method: str, path: str,
+                      body: Any = None, raw: bool = False) -> Any:
+        last_error: Optional[Exception] = None
+        for attempt in range(self._retry.max_retries + 1):
+            try:
+                status, headers, payload = await self._once(
+                    method, path, body, raw)
+            except (ConnectionError, OSError,
+                    asyncio.IncompleteReadError) as exc:
+                last_error = exc
+                if attempt < self._retry.max_retries:
+                    await asyncio.sleep(self._retry.delay(attempt))
+                continue
+            if status == 200:
+                return payload
+            error = _error_for(status, payload, headers)
+            should_retry, retry_after = _retryable(error)
+            last_error = error
+            if not should_retry:
+                raise error
+            if attempt < self._retry.max_retries:
+                await asyncio.sleep(
+                    self._retry.delay(attempt, retry_after))
+        assert last_error is not None
+        raise last_error
+
+    async def _once(self, method: str, path: str, body: Any,
+                    raw: bool) -> Tuple[int, Dict[str, str], Any]:
+        reader, writer = await asyncio.open_connection(
+            self._host, self._port)
+        try:
+            encoded = json.dumps(body).encode("utf-8") \
+                if body is not None else b""
+            head = [f"{method} {path} HTTP/1.1",
+                    f"Host: {self._host}:{self._port}",
+                    f"Content-Length: {len(encoded)}",
+                    "Content-Type: application/json",
+                    "Connection: close"]
+            writer.write(("\r\n".join(head) + "\r\n\r\n")
+                         .encode("ascii") + encoded)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("ascii", "replace").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError("malformed status line")
+            status = int(parts[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or 0)
+            data = await reader.readexactly(length) if length \
+                else await reader.read()
+            if raw:
+                return status, headers, data.decode("utf-8")
+            try:
+                payload = json.loads(data.decode("utf-8")) \
+                    if data else None
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = None
+            return status, headers, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,200 @@
+"""Prometheus-text-format metrics for the simulation service.
+
+Stdlib-only metric primitives — counters, gauges, and power-of-two
+histograms — rendered in the Prometheus exposition format (version
+0.0.4) by :meth:`MetricsRegistry.render`.
+
+Histogram buckets reuse the replay paths' latency-histogram scheme
+(:data:`repro.common.stats.LAT_HIST_KEYS`): one bucket per power of
+two, index ``int(value).bit_length()``.  Service stage latencies are
+observed in microseconds, so the bucket *boundaries* exposed to
+Prometheus are ``2**i`` microseconds converted to seconds; aggregated
+simulation-cycle histograms keep cycle-valued boundaries.  Sharing the
+scheme means a service-side histogram and a simulator ``lat_hist_b*``
+counter series are bucket-compatible by construction.
+
+Thread safety: all mutators are single ``int`` additions on dicts with
+pre-created cells, safe under the GIL for the service's two-thread
+(event loop + dispatcher) usage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..common.stats import LAT_HIST_KEYS, lat_bucket
+
+#: Scale for stage latencies: seconds -> integer microseconds.
+MICROS = 1_000_000
+
+
+def _fmt(value: float) -> str:
+    """A Prometheus-friendly number (integers without trailing .0)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: one named family with labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+
+    def samples(self) -> Iterable[Tuple[str, str, float]]:
+        """Yield ``(sample_name, label_text, value)``."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotone counter family with optional labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._cells: Dict[Tuple[Tuple[str, str], ...], int] = {}
+
+    def inc(self, amount: int = 1, **labels: str) -> None:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        self._cells[key] = self._cells.get(key, 0) + amount
+
+    def value(self, **labels: str) -> int:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self._cells.get(key, 0)
+
+    def total(self) -> int:
+        return sum(self._cells.values())
+
+    def samples(self):
+        if not self._cells:
+            yield self.name, "", 0
+            return
+        for key in sorted(self._cells):
+            yield self.name, _labels(key), self._cells[key]
+
+
+class Gauge(Metric):
+    """Point-in-time value; either set explicitly or read on demand."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str,
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def get(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def samples(self):
+        yield self.name, "", self.get()
+
+
+class Histogram(Metric):
+    """Power-of-two histogram in the shared ``lat_hist`` scheme.
+
+    ``observe(value)`` buckets by ``int(value).bit_length()``; the
+    rendered ``le`` boundaries are ``(2**i - 1) * scale`` (the largest
+    value bucket ``i`` can hold, scaled — e.g. microseconds to
+    seconds).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 scale: float = 1.0, max_buckets: int = 40) -> None:
+        super().__init__(name, help_text)
+        self._scale = scale
+        self._nbuckets = min(max_buckets, len(LAT_HIST_KEYS))
+        self._counts = [0] * self._nbuckets
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        bucket = min(lat_bucket(int(value)), self._nbuckets - 1)
+        self._counts[bucket] += 1
+        self._sum += value
+        self._count += 1
+
+    def observe_bucket_counts(self, counts: Dict[int, int],
+                              weighted_sum: float = 0.0) -> None:
+        """Merge pre-bucketed counts (e.g. a run's ``lat_hist_b*``)."""
+        for bucket, count in counts.items():
+            self._counts[min(bucket, self._nbuckets - 1)] += count
+            self._count += count
+        self._sum += weighted_sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def samples(self):
+        cumulative = 0
+        for bucket, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            le = ((1 << bucket) - 1) * self._scale
+            yield (f"{self.name}_bucket", _labels((("le", _fmt(le)),)),
+                   cumulative)
+        yield f"{self.name}_bucket", _labels((("le", "+Inf"),)), \
+            self._count
+        yield f"{self.name}_sum", "", self._sum * self._scale
+        yield f"{self.name}_count", "", self._count
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families with a text renderer."""
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self._prefix = prefix
+        self._metrics: List[Metric] = []
+        self._by_name: Dict[str, Metric] = {}
+
+    def _register(self, metric: Metric) -> Metric:
+        self._metrics.append(metric)
+        self._by_name[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(Counter(f"{self._prefix}_{name}",
+                                      help_text))
+
+    def gauge(self, name: str, help_text: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        return self._register(Gauge(f"{self._prefix}_{name}",
+                                    help_text, fn))
+
+    def histogram(self, name: str, help_text: str,
+                  scale: float = 1.0,
+                  max_buckets: int = 40) -> Histogram:
+        return self._register(Histogram(f"{self._prefix}_{name}",
+                                        help_text, scale, max_buckets))
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._by_name.get(f"{self._prefix}_{name}")
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for metric in self._metrics:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, label_text, value in metric.samples():
+                lines.append(f"{sample_name}{label_text} {_fmt(value)}")
+        return "\n".join(lines) + "\n"

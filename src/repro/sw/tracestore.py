@@ -15,7 +15,7 @@ store mirrors the run cache's durability contract
 * a corrupt, truncated, or version-mismatched entry reads as a miss,
   never as an error — the trace is simply regenerated and rewritten.
   Corrupt entries are additionally *quarantined* (renamed to
-  ``<entry>.mdat.corrupt`` and counted in :attr:`corrupt_evictions`)
+  ``<entry>.mdat.corrupt`` and counted in :attr:`corrupt_quarantined`)
   so they fail once, not on every read, and remain inspectable;
 * the payload is the packed binary trace format of
   :mod:`repro.sw.tracefile`, so every store entry is also a valid input
@@ -55,7 +55,7 @@ class TraceStore:
         self._root = root
         self._lock_timeout = lock_timeout
         #: Corrupt entries quarantined by :meth:`load` so far.
-        self.corrupt_evictions = 0
+        self.corrupt_quarantined = 0
         #: Best-effort writes skipped because the lock stayed held.
         self.lock_timeouts = 0
 
@@ -107,7 +107,7 @@ class TraceStore:
             os.replace(path, path + QUARANTINE_SUFFIX)
         except OSError:
             return
-        self.corrupt_evictions += 1
+        self.corrupt_quarantined += 1
 
     @staticmethod
     def _remove_tmp(tmp: str) -> None:

@@ -71,6 +71,21 @@ def _hermetic_faults(monkeypatch):
     faults.disarm()
 
 
+@pytest.fixture(autouse=True)
+def _restore_kernel_pin():
+    """Restore the kernel-dispatch pin after every test.
+
+    ``kernel_disabled()`` restores on exit itself, but a test that
+    flips :data:`repro.core.kernels.KERNEL_ENABLED` directly and then
+    fails would leak the pin into every later test; this snapshot makes
+    the suite order-independent.
+    """
+    from repro.core import kernels
+    prior = kernels.KERNEL_ENABLED
+    yield
+    kernels.KERNEL_ENABLED = prior
+
+
 @pytest.fixture
 def stats() -> StatRegistry:
     return StatRegistry()

@@ -281,7 +281,7 @@ class TestTraceCache:
         assert trace_cache_info() == {"hits": 0, "misses": 0,
                                       "entries": 0, "store_hits": 0,
                                       "store_misses": 0,
-                                      "store_corrupt": 0,
+                                      "corrupt_quarantined": 0,
                                       "generated": 0}
 
     def test_explicit_layout_bypasses_cache(self):

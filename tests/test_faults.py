@@ -138,16 +138,16 @@ class TestRunCacheQuarantine:
 
         reader = RunCache(cache_dir)
         assert reader.load(KEY) is None
-        assert reader.corrupt_evictions == 1
+        assert reader.corrupt_quarantined == 1
         path = reader.path_for(KEY)
         assert not os.path.exists(path)
         assert os.path.exists(path + ".corrupt")
         # Quarantine means the second read is a clean miss, not
         # another failed parse.
         assert reader.load(KEY) is None
-        assert reader.corrupt_evictions == 1
+        assert reader.corrupt_quarantined == 1
 
-    def test_runner_surfaces_corrupt_evictions(self, tmp_path):
+    def test_runner_surfaces_corrupt_quarantined(self, tmp_path):
         cache_dir = str(tmp_path / ".runcache")
         runner = ExperimentRunner(cache_dir=cache_dir)
         runner.run(KEY.design, KEY.workload, KEY.size, KEY.llc_mb)
@@ -157,13 +157,13 @@ class TestRunCacheQuarantine:
         again = ExperimentRunner(cache_dir=cache_dir)
         again.run(KEY.design, KEY.workload, KEY.size, KEY.llc_mb)
         info = again.cache_info()
-        assert info.corrupt_evictions == 1
+        assert info.corrupt_quarantined == 1
         assert "quarantined" in info.describe()
 
     def test_missing_entry_is_not_corruption(self, tmp_path):
         cache = RunCache(str(tmp_path / ".runcache"))
         assert cache.load(KEY) is None
-        assert cache.corrupt_evictions == 0
+        assert cache.corrupt_quarantined == 0
 
     def test_clear_removes_quarantined_entries(self, tmp_path):
         cache_dir = str(tmp_path / ".runcache")
@@ -219,7 +219,7 @@ class TestTraceStoreQuarantine:
         with open(path, "wb") as handle:
             handle.write(data[:len(data) // 2])
         assert store.load("sobel", "small", 1) is None
-        assert store.corrupt_evictions == 1
+        assert store.corrupt_quarantined == 1
         assert not os.path.exists(path)
         assert os.path.exists(path + ".corrupt")
         assert len(store) == 0
@@ -229,9 +229,9 @@ class TestTraceStoreQuarantine:
         store = self._stored(tmp_path)
         faults.arm(None)
         assert store.load("sobel", "small", 1) is None
-        assert store.corrupt_evictions == 1
+        assert store.corrupt_quarantined == 1
 
-    def test_store_corrupt_surfaced_in_trace_info(self, tmp_path):
+    def test_corrupt_quarantined_surfaced_in_trace_info(self, tmp_path):
         from repro.core.simulator import (
             clear_trace_cache,
             configure_trace_store,
@@ -252,7 +252,7 @@ class TestTraceStoreQuarantine:
             run_simulation(make_system("1P1L", 1.0), workload="sobel",
                            size="small")
             info = trace_cache_info()
-            assert info["store_corrupt"] == 1
+            assert info["corrupt_quarantined"] == 1
             assert info["generated"] == 1
         finally:
             configure_trace_store(None)
@@ -261,7 +261,7 @@ class TestTraceStoreQuarantine:
     def test_missing_entry_is_not_corruption(self, tmp_path):
         store = TraceStore(str(tmp_path / ".tracecache"))
         assert store.load("sobel", "small", 1) is None
-        assert store.corrupt_evictions == 0
+        assert store.corrupt_quarantined == 0
 
 
 class TestFileLocking:

@@ -63,6 +63,41 @@ class TestSupports:
             assert not kernels.supports(hierarchy)
         assert kernels.supports(hierarchy)
 
+    def test_kernel_disabled_restores_on_exception(self):
+        # A failing test body inside the pin must not leak the pin
+        # into the rest of the process.
+        prior = kernels.KERNEL_ENABLED
+        with pytest.raises(RuntimeError, match="boom"):
+            with kernels.kernel_disabled():
+                assert not kernels.KERNEL_ENABLED
+                raise RuntimeError("boom")
+        assert kernels.KERNEL_ENABLED == prior
+
+    def test_kernel_disabled_nests(self):
+        # Each block restores what *it* saw, so nesting is safe.
+        with kernels.kernel_disabled():
+            with kernels.kernel_disabled():
+                assert not kernels.KERNEL_ENABLED
+            assert not kernels.KERNEL_ENABLED
+        assert kernels.KERNEL_ENABLED
+
+    def test_kernel_disabled_rejects_reentry(self):
+        cm = kernels.kernel_disabled()
+        with cm:
+            with pytest.raises(RuntimeError, match="entered twice"):
+                cm.__enter__()
+        assert kernels.KERNEL_ENABLED
+
+    def test_kernel_disabled_restores_on_gc(self):
+        # Belt-and-braces: an abandoned, entered context restores the
+        # pin when collected (e.g. a generator-holding test that never
+        # reached __exit__).
+        cm = kernels.kernel_disabled()
+        cm.__enter__()
+        assert not kernels.KERNEL_ENABLED
+        del cm
+        assert kernels.KERNEL_ENABLED
+
     def test_sampler_falls_back_to_packed(self):
         # Occupancy sampling needs per-request callbacks the fused
         # loop elides; cpu.run must route sampled runs to run_packed

@@ -104,6 +104,59 @@ class TestInterference:
         assert result.makespan > 0
 
 
+class TestEdgeCases:
+    def test_deterministic_across_runs(self):
+        """The interleave is clock-ordered, not wall-clock-ordered, so
+        two identical runs must agree counter for counter."""
+        first = run_multiprogrammed(make_system("1P2L"),
+                                    programs("sobel", "htap1"))
+        second = run_multiprogrammed(make_system("1P2L"),
+                                     programs("sobel", "htap1"))
+        assert first.makespan == second.makespan
+        assert first.stats.flat() == second.stats.flat()
+
+    def test_core_indices_are_stable(self):
+        result = run_multiprogrammed(
+            make_system("1P2L"), programs("sobel", "htap1", "htap2"))
+        assert [c.core for c in result.cores] == [0, 1, 2]
+        assert [c.workload for c in result.cores] == \
+            ["sobel", "htap1", "htap2"]
+
+    def test_l1_hit_rates_are_probabilities(self):
+        result = run_multiprogrammed(make_system("1P2L"),
+                                     programs("sobel", "htap1"))
+        for core in result.cores:
+            assert 0.0 <= core.l1_hit_rate <= 1.0
+            assert core.ops > 0
+            assert core.cycles > 0
+
+    def test_offset_trace_relocates_whole_tiles(self):
+        from repro.common.types import AccessWidth, Orientation, Request
+        from repro.core.multicore import _offset_trace
+        reqs = [Request(17, Orientation.ROW, AccessWidth.SCALAR,
+                        False, 3),
+                Request(600, Orientation.COLUMN, AccessWidth.VECTOR,
+                        True, 4)]
+        moved = list(_offset_trace(iter(reqs), base_tile=5))
+        assert [r.addr for r in moved] == [17 + 5 * 512, 600 + 5 * 512]
+        # Everything but the address is preserved.
+        for before, after in zip(reqs, moved):
+            assert after.orientation is before.orientation
+            assert after.width is before.width
+            assert after.is_write == before.is_write
+            assert after.ref_id == before.ref_id
+
+    def test_identical_programs_get_disjoint_footprints(self):
+        """Two copies of a program must not hit in each other's lines:
+        each core's L1 sees only its own demand stream."""
+        result = run_multiprogrammed(make_system("1P2L"),
+                                     programs("sobel", "sobel"))
+        a = result.stats.group("cache.c0.L1")
+        b = result.stats.group("cache.c1.L1")
+        assert a.get("demand_accesses") == b.get("demand_accesses")
+        assert a.get("hits") == b.get("hits")
+
+
 class TestAsRunResult:
     def test_view_fields(self):
         result = run_multiprogrammed(make_system("1P2L"),

@@ -85,6 +85,74 @@ class TestTableManagement:
         assert stats.get("static_fallbacks") > 0
 
 
+class TestEdgeCases:
+    def test_unknown_reference_has_zero_confidence(self):
+        pred = make_predictor()
+        assert pred.confidence(99) == 0
+
+    def test_threshold_one_predicts_after_one_step(self):
+        pred = make_predictor(threshold=1)
+        walk = column_walk()
+        assert pred.observe_and_predict(1, walk[0], Orientation.ROW) \
+            is Orientation.ROW  # nothing to compare against yet
+        assert pred.observe_and_predict(1, walk[1], Orientation.ROW) \
+            is Orientation.COLUMN
+
+    def test_negative_counter_clamps_at_saturation(self):
+        pred = make_predictor(threshold=2, saturation=3)
+        for addr in row_walk():
+            pred.observe_and_predict(1, addr, Orientation.COLUMN)
+        assert pred.confidence(1) == -3
+
+    def test_phase_change_relearns(self):
+        """A reference that switches from a column walk to a row walk
+        must eventually flip its prediction (counter walks through
+        neutral, not around it)."""
+        pred = make_predictor(threshold=2, saturation=4)
+        for addr in column_walk():
+            pred.observe_and_predict(1, addr, Orientation.ROW)
+        assert pred.confidence(1) > 0
+        out = None
+        for row in range(12):
+            for addr in row_walk(row=row % 8):
+                out = pred.observe_and_predict(1, addr,
+                                               Orientation.COLUMN)
+        assert out is Orientation.ROW
+        assert pred.confidence(1) < 0
+
+    def test_repeated_same_address_trains_nothing(self):
+        """Re-touching one word stays in both lines; neither direction
+        should gain confidence."""
+        pred = make_predictor(threshold=1)
+        addr = word_addr(0, 3, 3)
+        for _ in range(8):
+            pred.observe_and_predict(1, addr, Orientation.ROW)
+        assert pred.confidence(1) == 0
+
+    def test_eviction_is_counted(self):
+        stats = StatGroup("pred")
+        pred = OrientationPredictor(stats, table_entries=2)
+        for ref in (1, 2, 3, 4):
+            pred.observe_and_predict(ref, 0, Orientation.ROW)
+        assert stats.get("table_evictions") == 2
+
+    def test_eviction_is_fifo_and_state_restarts_cold(self):
+        """The oldest insertion goes first, and a re-inserted reference
+        starts from a neutral counter (no stale confidence)."""
+        pred = make_predictor(threshold=2, table_entries=2)
+        for addr in column_walk():
+            pred.observe_and_predict(1, addr, Orientation.ROW)
+        assert pred.confidence(1) >= 2
+        pred.observe_and_predict(2, 0, Orientation.ROW)  # fills table
+        pred.observe_and_predict(3, 0, Orientation.ROW)  # evicts ref 1
+        assert pred.confidence(1) == 0
+        # Ref 1 comes back cold: first access falls back to the static
+        # hint rather than resuming its evicted counter.
+        out = pred.observe_and_predict(1, word_addr(0, 0, 3),
+                                       Orientation.ROW)
+        assert out is Orientation.ROW
+
+
 class TestCacheIntegration:
     def test_dyn_design_learns_columns_on_legacy_trace(self):
         """End to end: legacy scalar column walks on the tiled layout
