@@ -14,6 +14,12 @@ to the current artifact are reported informationally; metrics present
 in the baseline but missing from the current run fail, since that
 means a bench silently stopped running.
 
+On top of the per-metric baselines, one *ratio* rule is enforced
+within the current artifact alone: the vector window replay must
+clear ``VECTOR_KERNEL_RATIO`` times the fused kernel loop (the PR-6
+acceptance bar).  Ratios of same-host numbers are immune to runner
+speed, so this gate is hard.
+
 Exit status: 0 = OK (possibly with warnings), 1 = regression or
 missing metric, 2 = usage / unreadable artifact.
 """
@@ -29,7 +35,12 @@ THROUGHPUT_KEYS = (
     "hot_loop_requests_per_sec",
     "packed_loop_requests_per_sec",
     "kernel_loop_requests_per_sec",
+    "vector_loop_requests_per_sec",
 )
+
+#: The vector replay must clear this multiple of the fused kernel
+#: loop within one artifact (same host, same session).
+VECTOR_KERNEL_RATIO = 2.0
 
 
 def _load(path):
@@ -71,6 +82,19 @@ def check(baseline, current):
         else:
             print(f"  ok     {key}: {curr:,.0f} req/s "
                   f"(baseline {base:,.0f}, {(ratio - 1) * 100:+.1f}%)")
+    vec = current.get("vector_loop_requests_per_sec")
+    ker = current.get("kernel_loop_requests_per_sec")
+    if isinstance(vec, (int, float)) and isinstance(ker, (int, float)) \
+            and ker > 0:
+        ratio = vec / ker
+        if ratio < VECTOR_KERNEL_RATIO:
+            failures.append(
+                f"vector/kernel ratio: {vec:,.0f} req/s is only "
+                f"{ratio:.2f}x the kernel loop ({ker:,.0f} req/s); "
+                f"the acceptance bar is {VECTOR_KERNEL_RATIO:.1f}x")
+        else:
+            print(f"  ok     vector/kernel ratio: {ratio:.2f}x "
+                  f"(bar {VECTOR_KERNEL_RATIO:.1f}x)")
     return failures
 
 

@@ -89,6 +89,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         forwarded += ["--run-timeout", str(args.run_timeout)]
     if args.inject_faults:
         forwarded += ["--inject-faults", args.inject_faults]
+    if args.shards != 1:
+        forwarded += ["--shards", str(args.shards)]
     # Profiling wraps the whole experiment here (not via a forwarded
     # flag) so it also covers experiments without a precomputable run
     # plan, whose mains take no arguments.
@@ -326,12 +328,19 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SPEC",
                        help="deterministic fault injection spec "
                             "(e.g. worker_crash:0.1,seed:7)")
+    exp_p.add_argument("--shards", type=int, default=1,
+                       metavar="N",
+                       help="split each trace into N window-aligned "
+                            "cold-cache epochs, replayed in parallel "
+                            "under --jobs and merged deterministically "
+                            "(default: 1)")
     exp_p.add_argument("--profile", action="store_true",
                        help="profile the run under cProfile: dump "
                             "OUTDIR/profile.pstats and print the top "
                             "20 functions by cumulative time to "
-                            "stderr (workers under --jobs N run "
-                            "unprofiled; use --jobs 1)")
+                            "stderr; pool workers under --jobs N dump "
+                            "per-worker profiles that merge into the "
+                            "same file")
     exp_p.set_defaults(func=_cmd_experiment)
 
     journal_p = sub.add_parser(

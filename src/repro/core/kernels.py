@@ -1105,19 +1105,75 @@ def _flush_shared(cpu_group, l1, ops, now, stalled, tracked,
             cpu_group.set(LAT_HIST_KEYS[bucket], count)
 
 
+class _Span2L:
+    """Carried state of a ranged fused 2-D replay.
+
+    One instance spans one logical replay: the clock, the cumulative
+    stall cycles, the outstanding-read heap, the latency histogram,
+    and the loop-local counters :func:`_flush_shared` folds at the
+    end.  :func:`_replay_2l` threads one instance through a single
+    full-trace span; the vector engine (:mod:`repro.core.vector`)
+    threads one through interleaved scalar spans and bulk windows.
+    """
+
+    __slots__ = ("now", "stalled", "window", "hist", "n_hits",
+                 "n_misses", "n_probes", "n_tracked")
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.stalled = 0
+        self.window: List[int] = []
+        self.hist = [0] * len(LAT_HIST_KEYS)
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_probes = 0
+        self.n_tracked = 0
+
+
 def _replay_2l(engine: KernelEngine, trace, cpu_config,
                cpu_group) -> int:
     """Fused replay over a logically 2-D (1P2L) L1.
 
+    Predecodes, replays the whole trace as one span, then drains the
+    outstanding window, runs the hierarchy's posted-write horizon, and
+    folds the carried counters into the shared cells.
+    """
+    l1 = engine.levels[0]
+    packed, demand = _predecode_2l(trace.words)
+    state = _Span2L()
+    _replay_2l_span(engine, packed, 0, len(packed), cpu_config, state)
+    now = state.now
+    window = state.window
+    while window:
+        earliest = heappop(window)
+        if earliest > now:
+            now = earliest
+    horizon = engine.hierarchy.finish(now)
+    if horizon > now:
+        now = horizon
+    _flush_shared(cpu_group, l1, len(trace), now, state.stalled,
+                  state.n_tracked, state.n_hits, state.n_misses,
+                  state.n_probes, demand, state.hist)
+    return now
+
+
+def _replay_2l_span(engine: KernelEngine, packed, start, stop,
+                    cpu_config, state) -> None:
+    """Replay predecoded requests ``[start, stop)``, carrying ``state``.
+
     One function, local-variable bindings only: the four request modes
     dispatch on two packed-word bits, the plain-hit cases complete
     inline against the flat stores, and only misses and duplicate-copy
-    cases drop into the (still flat) slow-path methods.
+    cases drop into the (still flat) slow-path methods.  The shared
+    counter cells are exact after every call (the span-local
+    accumulators fold on exit), so spans interleave freely with other
+    exact replay steps against the same engine.
     """
     l1 = engine.levels[0]
-    now = 0
-    stalled = 0
-    window: List[int] = []
+    now = state.now
+    stalled = state.stalled
+    window = state.window
+    hist = state.hist
     window_size = cpu_config.mlp_window
     issue_cost = cpu_config.cycles_per_op
     cfg = l1.cfg
@@ -1128,7 +1184,6 @@ def _replay_2l(engine: KernelEngine, trace, cpu_config,
     hb_hit = hit_latency.bit_length()
     hb_sw = swrite_latency.bit_length()
     hb_vw = vwrite_latency.bit_length()
-    hist = [0] * len(LAT_HIST_KEYS)
     slots_get = l1.slot_of.get
     meta_arr = l1.meta
     ready_at = l1.ready_at
@@ -1180,8 +1235,11 @@ def _replay_2l(engine: KernelEngine, trace, cpu_config,
     n_coal = n_new_fills = n_evict = n_l2_serves = 0
     lvl1 = l1.level_index
     n_hits = n_misses = n_probes = n_tracked = 0
-    packed, demand = _predecode_2l(trace.words)
-    for p in packed:
+    if start == 0 and stop >= len(packed):
+        span = packed
+    else:
+        span = packed[start:stop]
+    for p in span:
         line = p >> 7
         mode = (p >> 4) & 3  # is_write | width << 1
         now += issue_cost
@@ -1419,13 +1477,6 @@ def _replay_2l(engine: KernelEngine, trace, cpu_config,
             else:
                 n_misses += 1
             hist[(completion - now).bit_length()] += 1
-    while window:
-        earliest = heappop(window)
-        if earliest > now:
-            now = earliest
-    horizon = engine.hierarchy.finish(now)
-    if horizon > now:
-        now = horizon
     # Fold the inlined-fill accumulators into their shared cells
     # (allocations/fills and the lower level's fetch/probe counts move
     # in lockstep on these paths, so one accumulator serves each pair).
@@ -1439,9 +1490,12 @@ def _replay_2l(engine: KernelEngine, trace, cpu_config,
     if n_l2_serves:
         l2.c_fetch_requests.value += n_l2_serves
         l2.c_tag_probes.value += n_l2_serves
-    _flush_shared(cpu_group, l1, len(trace), now, stalled, n_tracked,
-                  n_hits, n_misses, n_probes, demand, hist)
-    return now
+    state.now = now
+    state.stalled = stalled
+    state.n_hits += n_hits
+    state.n_misses += n_misses
+    state.n_probes += n_probes
+    state.n_tracked += n_tracked
 
 
 def _replay_1l(engine: KernelEngine, trace, cpu_config,

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from ..cache.hierarchy import CacheHierarchy
 from ..common.config import SystemConfig
 from ..common.stats import StatRegistry
-from ..common.types import PackedTrace
+from ..common.types import PackedTrace, ShardPlan
 from ..sw.layout import Layout, make_layout
 from ..sw.program import Program
 from ..sw.tracegen import generate_packed_trace, generate_trace
@@ -226,7 +226,8 @@ def run_simulation(system: SystemConfig,
                    layout: Optional[Layout] = None,
                    sample_every: int = 0,
                    replacement: str = "lru",
-                   compile_dims: Optional[int] = None) -> RunResult:
+                   compile_dims: Optional[int] = None,
+                   shard: Optional[Tuple[int, int]] = None) -> RunResult:
     """Simulate one workload on one system configuration.
 
     Args:
@@ -245,14 +246,40 @@ def run_simulation(system: SystemConfig,
         compile_dims: override the logical dimensionality the trace is
             compiled for (e.g. 1 to model a legacy binary — no column
             annotations or column vectorization — on a 2-D hierarchy).
+        shard: replay epoch ``(index, count)`` of the sharded run
+            instead of the whole trace.  The packed trace is cut at
+            ``WINDOW_ALIGN``-aligned boundaries (:class:`ShardPlan`)
+            and each epoch replays from a cold cache — the
+            context-switch execution model, identical whether the
+            epochs run serially or across pool workers.  Only valid
+            for default-layout registry workloads without occupancy
+            sampling; merge epoch results with
+            :func:`merge_run_results`.
     """
     if (program is None) == (workload is None):
         raise ValueError("pass exactly one of program= or workload=")
     logical_dims = compile_dims or system.logical_dims
+    if shard is not None:
+        if program is not None or layout is not None:
+            raise ValueError("shard= requires a default-layout "
+                             "registry workload")
+        if sample_every:
+            raise ValueError("occupancy sampling cannot be sharded "
+                             "(samples are positional within one "
+                             "replay)")
     if program is None and layout is None:
         # Default-layout registry run: replay the materialized trace
         # shared by every design with this logical dimensionality.
         name, trace = _materialized_trace(workload, size, logical_dims)
+        if shard is not None:
+            index, count = shard
+            plan = ShardPlan.plan(len(trace), count)
+            if not 0 <= index < plan.shards:
+                raise ValueError(
+                    f"shard index {index} out of range for "
+                    f"{plan.shards}-epoch plan (requested {count})")
+            begin, end = plan.bounds[index], plan.bounds[index + 1]
+            trace = PackedTrace(trace.words[begin:end])
     else:
         if program is None:
             program = build_workload(workload, size)
@@ -277,6 +304,38 @@ def run_simulation(system: SystemConfig,
     return RunResult(system=system, workload=name,
                      cycles=cycles, ops=ops, stats=stats,
                      samples=samples)
+
+
+def merge_run_results(parts: List[RunResult]) -> RunResult:
+    """Deterministically merge per-epoch results of one sharded run.
+
+    Counters sum cell by cell through the stat groups' own tables (no
+    string parsing), cycles and ops sum across epochs, and derived
+    metrics (hit rates, traffic) recompute from the summed counters.
+    Addition is order-independent over ints, so serial and pool
+    executions of the same epoch plan merge to bit-identical
+    statistics.  Occupancy samples are positional within one replay
+    and refuse to merge.
+    """
+    if not parts:
+        raise ValueError("merge_run_results needs at least one part")
+    if len(parts) == 1:
+        return parts[0]
+    for part in parts:
+        if part.samples:
+            raise ValueError("occupancy samples cannot be merged "
+                             "across shards")
+    stats = StatRegistry()
+    for part in parts:
+        for group_name, group in part.stats.items():
+            target = stats.group(group_name)
+            for cell, value in group.counters().items():
+                target.add(cell, value)
+    return RunResult(system=parts[0].system,
+                     workload=parts[0].workload,
+                     cycles=sum(part.cycles for part in parts),
+                     ops=sum(part.ops for part in parts),
+                     stats=stats)
 
 
 def run_trace(system: SystemConfig, trace,

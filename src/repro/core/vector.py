@@ -1,0 +1,685 @@
+"""Batched, array-vectorized replay over the fused flat-store kernel.
+
+:mod:`repro.core.kernels` (PR 4) retires packed requests one at a time;
+this module retires *windows* of them with numpy.  The idea:
+
+* Replay the packed trace in fixed chunks (``CHUNK`` requests).  For
+  each chunk, classify every request against the live L1 tag/meta
+  arrays with one gather per probe kind: a request is *bulk-eligible*
+  when the fused scalar loop would take its plain-hit fast path —
+  the preferred line is resident, and (scalar writes) the
+  perpendicular duplicate is absent, and (reads) no fill for the line
+  is in flight.
+* A **dependency window** is a maximal run of consecutive
+  bulk-eligible requests.  Plain hits only touch LRU stamps and dirty
+  bits of *resident* slots — they never change set membership, MSHR
+  state, or the stall window — so every request in the window still
+  sees exactly the state it was classified against, and the whole
+  window can retire with vectorized scatters: last-writer-wins age
+  stamps, OR-accumulated dirty bits, bucketed latency-histogram
+  counts.
+* Every other request replays **scalar**, sharing one carried
+  :class:`repro.core.kernels._Span2L` state with the bulk windows:
+  long scalar runs go through :func:`repro.core.kernels._replay_2l_span`
+  — the fused kernel loop itself, so miss bursts replay at full kernel
+  speed — and isolated rows through a closure that mirrors one
+  ``_replay_2l`` iteration via the tail methods.  After scalar work
+  that may have restructured the cache, the L1 sets it can have
+  touched are poisoned for the rest of the chunk; later classified
+  hits in a poisoned set re-probe scalar too.  Once every set is
+  poisoned, the remainder of the chunk replays as one fused kernel
+  span.  Chunk boundaries re-classify everything.
+
+The result is bit-identical to ``run_kernel`` — counters, latency
+histograms, and cycle counts — which `tests/test_vector.py` enforces
+three ways (object path vs scalar kernel vs vector kernel).  Miss-
+dominated traces degenerate to the fused kernel loop plus a small
+classification overhead; hit-dense traces retire windows thousands of
+requests long at numpy speed.
+
+Coverage: everything :func:`repro.core.kernels.supports` covers whose
+L1 is logically 2-D (the 1P2L family).  The 1P1L design keeps the
+scalar kernel — its loop is already a single dict probe per request
+and window classification would cost more than it saves.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import heappop, heappush
+from typing import List
+
+from ..common.types import WINDOW_ALIGN
+from . import kernels
+
+try:  # optional accelerator (same dependency policy as kernels._np)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the test env
+    _np = None
+
+#: Module-level switch: benches and tests flip this to pin the scalar
+#: ``run_kernel`` path (see :func:`vector_disabled`).
+VECTOR_ENABLED = True
+
+#: Requests classified per batch.  Chunk boundaries only bound how far
+#: one classification can see — they never change results — so this
+#: trades gather width against re-classification frequency.  Shard
+#: boundaries align to the same quantum (``WINDOW_ALIGN``).
+CHUNK = WINDOW_ALIGN
+
+#: Windows at or below this length retire through a plain-Python hit
+#: loop: numpy's per-call overhead (argsort + scatters) only pays for
+#: itself on longer runs.
+SMALL_WINDOW = 6
+
+#: Scalar runs at or above this length replay through the fused kernel
+#: span (:func:`repro.core.kernels._replay_2l_span`), amortizing its
+#: local-binding prologue; shorter ones take the per-row scalar step.
+SPAN_MIN = 16
+
+#: Demotion guard for miss-dominated traces: once this many requests
+#: have replayed, a trace that has retired fewer than 1 in
+#: ``DEMOTE_FRACTION`` of them through bulk windows hands the entire
+#: remainder to the fused kernel span — classification is pure
+#: overhead there.  Results are unchanged (the span *is* the kernel
+#: loop); only the crossover cost of the first few chunks remains.
+DEMOTE_AFTER = 4 * CHUNK
+DEMOTE_FRACTION = 4
+
+
+def supports(hierarchy) -> bool:
+    """True when the vector replay covers this hierarchy exactly.
+
+    Uncovered-but-kernel-supported hierarchies replay through
+    ``run_kernel`` — same results, scalar speed.
+    """
+    if not VECTOR_ENABLED or _np is None:
+        return False
+    if not kernels.supports(hierarchy):
+        return False
+    return hierarchy.l1.config.logical_dims == 2
+
+
+class _VectorDisabled:
+    """Context manager forcing the scalar ``run_kernel`` path.
+
+    Same contract as :class:`repro.core.kernels._KernelDisabled`:
+    restores the prior state on any exit, nests, rejects re-entry, and
+    restores on garbage collection of an abandoned entered instance.
+    """
+
+    __slots__ = ("_prior",)
+
+    def __init__(self) -> None:
+        self._prior = None
+
+    def __enter__(self) -> "_VectorDisabled":
+        global VECTOR_ENABLED
+        if self._prior is not None:
+            raise RuntimeError("vector_disabled() context entered "
+                               "twice; create a fresh one per block")
+        self._prior = VECTOR_ENABLED
+        VECTOR_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+
+    def __del__(self) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        global VECTOR_ENABLED
+        if self._prior is not None:
+            VECTOR_ENABLED = self._prior
+            self._prior = None
+
+
+def vector_disabled() -> _VectorDisabled:
+    """Force the scalar ``run_kernel`` path within a ``with`` block."""
+    return _VectorDisabled()
+
+
+def window_spans(bulk_flags) -> List[tuple]:
+    """``(start, stop, is_bulk)`` spans of a chunk's eligibility mask.
+
+    The planner's window boundaries, exposed for tests: spans tile the
+    chunk exactly, alternate in kind, and every bulk span is a maximal
+    run (before set-poisoning, which can only split bulk spans
+    further).
+    """
+    spans = []
+    start = 0
+    n = len(bulk_flags)
+    for i in range(1, n + 1):
+        if i == n or bool(bulk_flags[i]) != bool(bulk_flags[start]):
+            spans.append((start, i, bool(bulk_flags[start])))
+            start = i
+    return spans
+
+
+def classify_chunk(engine, packed_words, start=0, stop=None):
+    """The bulk-eligibility mask one chunk would be planned with.
+
+    Debug/test hook: runs the classification pass of
+    :func:`_replay_vector` against the engine's *current* L1 state
+    (``now`` taken as the replay start) without executing anything.
+    """
+    packed, _ = kernels._predecode_2l(packed_words)
+    if stop is None:
+        stop = len(packed)
+    p_np = _np.asarray(packed[start:stop], dtype=_np.int64)
+    l1 = engine.levels[0]
+    bulk, _, _, _ = _classify(engine, l1, p_np, now=0)
+    return bulk
+
+
+def _classify(engine, l1, p_np, now):
+    """Vectorized plain-hit classification for one chunk.
+
+    Returns ``(bulk, slot, setn, osetn)`` — the eligibility mask, the
+    classified hit slot per row (meaningful only where the row hit),
+    and the L1 set numbers of the preferred and perpendicular lines
+    (for set-poisoning).
+    """
+    np = _np
+    tags_view = engine._tags_view
+    meta_view = engine._meta_view
+    assoc = l1.assoc
+    num_sets = l1.num_sets
+    line = p_np >> 7
+    mode = (p_np >> 4) & 3
+    other = (line & -16) | (p_np & 15)
+    if l1.same_set:
+        setn = (line >> 4) % num_sets
+        osetn = (other >> 4) % num_sets
+    else:
+        setn = ((line >> 4) + (line & 7)) % num_sets
+        osetn = ((other >> 4) + (other & 7)) % num_sets
+    lane = np.arange(assoc, dtype=np.int64)
+    g = setn * assoc
+    g = g[:, None] + lane
+    hitm = (tags_view[g] == line[:, None]) & ((meta_view[g] & 1) == 1)
+    has_hit = hitm.any(axis=1)
+    slot = setn * assoc + np.argmax(hitm, axis=1)
+    # Bulk = the fused loop's plain-hit fast path:
+    #  * modes 0/2 (reads): resident, and no in-flight fill for the
+    #    line (a live ready_at entry means the early-hit-wait branch,
+    #    which feeds the stall window — scalar);
+    #  * mode 1 (scalar write): resident and perpendicular duplicate
+    #    absent;
+    #  * mode 3 (vector write): always scalar — its fast path reads
+    #    tile_count, which bulk execution does not track.
+    bulk = has_hit & (mode != 3)
+    m1 = mode == 1
+    if m1.any():
+        og = osetn * assoc
+        og = og[:, None] + lane
+        ohit = ((tags_view[og] == other[:, None])
+                & ((meta_view[og] & 1) == 1)).any(axis=1)
+        bulk &= ~(m1 & ohit)
+    ready_at = l1.ready_at
+    if ready_at:
+        live = [k for k, v in ready_at.items() if v > now]
+        if live:
+            live_np = np.fromiter(live, dtype=np.int64, count=len(live))
+            bulk &= ~(((mode & 1) == 0) & np.isin(line, live_np))
+    return bulk, slot, setn, osetn
+
+
+class VectorEngine(kernels.KernelEngine):
+    """A :class:`KernelEngine` whose replay retires hit windows in bulk.
+
+    Construction swaps the L1 metadata list for an ``array('Q')`` so
+    numpy can alias it in place (``tags`` already is one); the scalar
+    tails keep reading boxed Python ints from it, so every slow path
+    stays byte-for-byte the kernel's.
+    """
+
+    def __init__(self, hierarchy) -> None:
+        super().__init__(hierarchy)
+        l1 = self.levels[0]
+        if not isinstance(l1, kernels._Kernel2L):
+            raise kernels.SimulationError(
+                "VectorEngine requires a logically 2-D L1; "
+                "use KernelEngine for 1P1L designs")
+        l1.meta = array("Q", l1.meta)
+        # Writable aliases: scalar-path writes through l1.tags/l1.meta
+        # are immediately visible to the gathers and vice versa.
+        self._tags_view = _np.frombuffer(l1.tags, dtype=_np.int64)
+        self._meta_view = _np.frombuffer(l1.meta, dtype=_np.int64)
+
+    def replay(self, trace, cpu_config, cpu_group) -> int:
+        """Drive a packed trace through the vector loop; returns cycles."""
+        return _replay_vector(self, trace, cpu_config, cpu_group)
+
+
+def _replay_vector(engine: VectorEngine, trace, cpu_config,
+                   cpu_group) -> int:
+    """Chunked window replay over a logically 2-D (1P2L) L1.
+
+    Structure per chunk: classify every request against the live L1
+    arrays, then walk the chunk executing maximal bulk windows with
+    numpy scatters and everything else scalar — long scalar runs (and
+    the whole remainder once every set is poisoned) through the fused
+    kernel span, isolated rows through the per-row step.
+    """
+    np = _np
+    l1 = engine.levels[0]
+    meta_view = engine._meta_view
+    window_size = cpu_config.mlp_window
+    issue_cost = cpu_config.cycles_per_op
+    cfg = l1.cfg
+    pipelined = cfg.hit_latency + 3 * cfg.tag_latency
+    hit_latency = l1.hit_latency
+    swrite_latency = 2 * l1.tag_latency + l1.data_write_latency
+    vwrite_latency = 9 * l1.tag_latency + l1.data_write_latency
+    hb_hit = hit_latency.bit_length()
+    hb_sw = swrite_latency.bit_length()
+    hb_vw = vwrite_latency.bit_length()
+    slots_get = l1.slot_of.get
+    meta_arr = l1.meta
+    ready_at = l1.ready_at
+    ready_get = ready_at.get
+    tile_get = l1.tile_count.get
+    age_cell = l1.age
+    age_limit = kernels.AGE_LIMIT
+    compact = l1._compact_ages
+    c_early = l1.c_early_hit_waits
+    scalar_read_tail = l1.scalar_read_tail
+    scalar_write_tail = l1.scalar_write_tail
+    vector_read_tail = l1.vector_read_tail
+    vector_write_tail = l1.vector_write_tail
+    lvl1 = l1.level_index
+    same_set = l1.same_set
+    num_sets = l1.num_sets
+    span_replay = kernels._replay_2l_span
+
+    st = kernels._Span2L()
+    window = st.window
+    hist = st.hist
+
+    packed, demand = kernels._predecode_2l(trace.words)
+    total = len(packed)
+    p_all = np.asarray(packed, dtype=np.int64) if total \
+        else np.zeros(0, dtype=np.int64)
+    k8 = np.arange(8, dtype=np.int64)
+
+    # Sets that scalar work may have restructured (install/evict/fill)
+    # this chunk; classified hits in these sets re-probe scalar.
+    # Cleared at every chunk boundary.
+    dirty_sets = set()
+
+    def poison(line: int, mode: int, p: int) -> None:
+        """Poison every L1 set the completed scalar step can have
+        restructured: the preferred line's set, the perpendicular
+        duplicate's set (scalar modes), and — for vector accesses,
+        whose tails may duplicate-evict the whole crossing tile — the
+        sets of all eight perpendicular lines."""
+        if same_set:
+            dirty_sets.add((line >> 4) % num_sets)
+            return
+        tile_row = line >> 4
+        if mode & 2:  # vector: perp lines k=0..7 live in 8 spread sets
+            for k in range(8):
+                dirty_sets.add((tile_row + k) % num_sets)
+        else:
+            dirty_sets.add((tile_row + (line & 7)) % num_sets)
+            # perpendicular duplicate: other & 7 == p & 7
+            dirty_sets.add((tile_row + (p & 7)) % num_sets)
+
+    def step(idx: int) -> None:
+        """One ``_replay_2l`` iteration for request ``idx``, verbatim.
+
+        Unlike the fused loop this calls the miss tails instead of
+        inlining them — the counters land in the same cells either
+        way — and poisons the touched sets when a tail ran.  Scalar
+        state lives on ``st`` so steps interleave exactly with fused
+        spans and bulk windows.
+        """
+        p = packed[idx]
+        line = p >> 7
+        mode = (p >> 4) & 3
+        now = st.now + issue_cost
+        st.now = now
+        if mode == 2:  # vector read
+            slot = slots_get(line)
+            if slot is not None:
+                st.n_probes += 1
+                st.n_hits += 1
+                stamp = age_cell[0]
+                if stamp >= age_limit:
+                    compact()
+                    stamp = age_cell[0]
+                age_cell[0] = stamp + 1
+                meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                    | (stamp << 16)
+                ready = ready_get(line)
+                if ready is None:
+                    hist[hb_hit] += 1
+                    return
+                if ready <= now:
+                    del ready_at[line]
+                    hist[hb_hit] += 1
+                    return
+                c_early.value += 1
+                latency = ready + hit_latency - now
+            else:
+                completion, level = vector_read_tail(line, now)
+                if level == lvl1:
+                    st.n_hits += 1
+                else:
+                    st.n_misses += 1
+                latency = completion - now
+                poison(line, mode, p)
+            hist[latency.bit_length()] += 1
+            if latency > pipelined:
+                heappush(window, now + latency)
+                st.n_tracked += 1
+                while len(window) > window_size:
+                    earliest = heappop(window)
+                    if earliest > now:
+                        st.stalled += earliest - now
+                        now = earliest
+                st.now = now
+        elif mode == 0:  # scalar read
+            slot = slots_get(line)
+            if slot is not None:
+                st.n_probes += 1
+                st.n_hits += 1
+                stamp = age_cell[0]
+                if stamp >= age_limit:
+                    compact()
+                    stamp = age_cell[0]
+                age_cell[0] = stamp + 1
+                meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                    | (stamp << 16)
+                ready = ready_get(line)
+                if ready is None:
+                    hist[hb_hit] += 1
+                    return
+                if ready <= now:
+                    del ready_at[line]
+                    hist[hb_hit] += 1
+                    return
+                c_early.value += 1
+                latency = ready + hit_latency - now
+            else:
+                other = (line & -16) | (p & 15)
+                completion, level = scalar_read_tail(line, other, now)
+                if level == lvl1:
+                    st.n_hits += 1
+                else:
+                    st.n_misses += 1
+                latency = completion - now
+                poison(line, mode, p)
+            hist[latency.bit_length()] += 1
+            if latency > pipelined:
+                heappush(window, now + latency)
+                st.n_tracked += 1
+                while len(window) > window_size:
+                    earliest = heappop(window)
+                    if earliest > now:
+                        st.stalled += earliest - now
+                        now = earliest
+                st.now = now
+        elif mode == 1:  # scalar write (posted; never stalls the core)
+            slot = slots_get(line)
+            offset = p & 7
+            other = (line & -16) | (p & 15)
+            if slot is not None and slots_get(other) is None:
+                st.n_probes += 2
+                st.n_hits += 1
+                stamp = age_cell[0]
+                if stamp >= age_limit:
+                    compact()
+                    stamp = age_cell[0]
+                age_cell[0] = stamp + 1
+                meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                    | (256 << offset) | (stamp << 16)
+                hist[hb_sw] += 1
+                return
+            completion, level = scalar_write_tail(
+                line, other, 1 << offset, 1 << (line & 7), now)
+            if level == lvl1:
+                st.n_hits += 1
+            else:
+                st.n_misses += 1
+            hist[(completion - now).bit_length()] += 1
+            poison(line, mode, p)
+        else:  # vector write (posted)
+            slot = slots_get(line)
+            if slot is not None and tile_get((line >> 3) ^ 1) is None:
+                st.n_probes += 9
+                st.n_hits += 1
+                stamp = age_cell[0]
+                if stamp >= age_limit:
+                    compact()
+                    stamp = age_cell[0]
+                age_cell[0] = stamp + 1
+                meta_arr[slot] = (meta_arr[slot] & 0xFFFF) | 0xFF00 \
+                    | (stamp << 16)
+                hist[hb_vw] += 1
+                return
+            completion, level = vector_write_tail(line, now)
+            if level == lvl1:
+                st.n_hits += 1
+            else:
+                st.n_misses += 1
+            hist[(completion - now).bit_length()] += 1
+            poison(line, mode, p)
+
+    # Requests retired through bulk windows so far (the demotion
+    # guard's numerator); a mutable cell so the per-chunk bulk_exec
+    # closure can charge it.
+    bulk_rows = [0]
+
+    for start in range(0, total, CHUNK):
+        if start >= DEMOTE_AFTER and \
+                bulk_rows[0] * DEMOTE_FRACTION < start:
+            # Miss-dominated: classification is not paying for itself.
+            # The fused kernel span replays the rest bit-identically.
+            span_replay(engine, packed, start, total, cpu_config, st)
+            break
+        stop = min(start + CHUNK, total)
+        # Drop ready entries that are stale for every request of this
+        # chunk (``now`` only advances).  Deleting one is inert: every
+        # consumer treats ready <= now exactly like absence.  What
+        # remains is small and marks the in-flight lines whose reads
+        # must take a scalar path.
+        if ready_at:
+            stale = [k for k, v in ready_at.items() if v <= st.now]
+            for k in stale:
+                del ready_at[k]
+        p_np = p_all[start:stop]
+        bulk, slot_np, setn_np, osetn_np = _classify(engine, l1, p_np,
+                                                     st.now)
+        mode_np = (p_np >> 4) & 3
+        dirty_sets.clear()
+        dirty_cache: List = [None]
+        n = stop - start
+        # Maximal constant-eligibility spans; set-poisoning can only
+        # split bulk spans further, never extend them.
+        if n > 1:
+            flips = np.flatnonzero(bulk[1:] != bulk[:-1]) + 1
+            bounds = [0] + flips.tolist() + [n]
+        else:
+            bounds = [0, n]
+        first_bulk = bool(bulk[0]) if n else False
+
+        def dirty_arr():
+            da = dirty_cache[0]
+            if da is None or da.size != len(dirty_sets):
+                da = np.fromiter(dirty_sets, dtype=np.int64,
+                                 count=len(dirty_sets))
+                dirty_cache[0] = da
+            return da
+
+        def poison_span(a: int, b: int) -> None:
+            """Poison the union of sets the rows of [a, b) can touch.
+
+            Used after a fused span call, which does not report which
+            rows actually restructured; conservatively charges every
+            row (plain hits included) — over-poisoning only sends more
+            rows down the exact scalar path.
+            """
+            if same_set:
+                dirty_sets.update(np.unique(setn_np[a:b]).tolist())
+                return
+            m = mode_np[a:b]
+            vec = m >= 2
+            if vec.any():
+                trow = p_np[a:b][vec] >> 11  # line >> 4
+                dirty_sets.update(np.unique(
+                    (trow[:, None] + k8) % num_sets).tolist())
+            if not vec.all():
+                sc = ~vec
+                dirty_sets.update(np.unique(setn_np[a:b][sc]).tolist())
+                dirty_sets.update(
+                    np.unique(osetn_np[a:b][sc]).tolist())
+
+        def screen(a: int, b: int):
+            """Poisoned-set mask for classified-hit rows [a, b)."""
+            fl = np.isin(setn_np[a:b], dirty_arr())
+            m1 = mode_np[a:b] == 1
+            if m1.any():
+                fl |= m1 & np.isin(osetn_np[a:b], dirty_arr())
+            return fl
+
+        def bulk_exec(i: int, t: int) -> None:
+            """Retire guaranteed plain hits [i, t) in bulk.
+
+            Never poisons: plain hits only touch stamps and dirty
+            bits.  The age-limit guard drops to per-row steps so the
+            stamp compaction lands exactly where the fused loop would
+            put it.
+            """
+            w = t - i
+            stamp0 = age_cell[0]
+            if stamp0 + w > age_limit:
+                for r in range(i, t):
+                    step(start + r)
+                return
+            if w <= SMALL_WINDOW:
+                probes = 0
+                for r in range(i, t):
+                    p = packed[start + r]
+                    slot = slots_get(p >> 7)
+                    if (p >> 4) & 1:
+                        meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                            | (256 << (p & 7)) | (age_cell[0] << 16)
+                        hist[hb_sw] += 1
+                        probes += 2
+                    else:
+                        meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                            | (age_cell[0] << 16)
+                        hist[hb_hit] += 1
+                        probes += 1
+                    age_cell[0] += 1
+                st.now += issue_cost * w
+                st.n_hits += w
+                st.n_probes += probes
+                bulk_rows[0] += w
+                return
+            sl = slot_np[i:t]
+            age_cell[0] = stamp0 + w
+            # Group the window by slot (stable, so each group keeps
+            # request order); the last touch carries the highest
+            # stamp, dirty bits OR together.
+            order = np.argsort(sl, kind="stable")
+            ssl = sl[order]
+            seg = np.flatnonzero(ssl[1:] != ssl[:-1]) + 1
+            starts = np.concatenate(([0], seg))
+            usl = ssl[starts]
+            ends = np.concatenate((seg, [w])) - 1
+            # stamps are stamp0 + row offset, so the max stamp per
+            # group is stamp0 + its last row.
+            ms = stamp0 + order[ends]
+            m1w = mode_np[i:t] == 1
+            w1 = int(m1w.sum()) if m1w.any() else 0
+            if w1:
+                dirty_add = np.where(
+                    m1w, np.int64(256) << (p_np[i:t] & 7),
+                    np.int64(0))
+                od = np.bitwise_or.reduceat(dirty_add[order], starts)
+                meta_view[usl] = (meta_view[usl] & 0xFFFF) | od \
+                    | (ms << 16)
+            else:
+                meta_view[usl] = (meta_view[usl] & 0xFFFF) \
+                    | (ms << 16)
+            st.now += issue_cost * w
+            w02 = w - w1
+            st.n_hits += w
+            st.n_probes += w02 + 2 * w1
+            hist[hb_hit] += w02
+            hist[hb_sw] += w1
+            bulk_rows[0] += w
+
+        for si in range(len(bounds) - 1):
+            a = bounds[si]
+            b = bounds[si + 1]
+            if len(dirty_sets) >= num_sets:
+                # Every set is poisoned: nothing can retire in bulk
+                # before the next chunk re-classifies.  Replay the
+                # remainder as one fused kernel span.
+                span_replay(engine, packed, start + a, stop,
+                            cpu_config, st)
+                break
+            if first_bulk == bool(si & 1):  # classified-miss span
+                if b - a >= SPAN_MIN:
+                    span_replay(engine, packed, start + a, start + b,
+                                cpu_config, st)
+                    poison_span(a, b)
+                else:
+                    for r in range(a, b):
+                        step(start + r)
+                continue
+            # Classified-hit span.
+            if not dirty_sets:
+                bulk_exec(a, b)
+                continue
+            flagged = screen(a, b)
+            cnt = int(flagged.sum())
+            if cnt == 0:
+                bulk_exec(a, b)
+                continue
+            if 2 * cnt >= b - a:
+                # Mostly poisoned: one fused span beats stumbling
+                # through it row by row.
+                span_replay(engine, packed, start + a, start + b,
+                            cpu_config, st)
+                poison_span(a, b)
+                continue
+            # Mixed: walk flagged rows scalar, unflagged runs in bulk.
+            # A scalar step can grow the poisoned set, so the
+            # remainder re-screens whenever it does (bounded: the set
+            # can grow at most num_sets times per chunk).
+            fl = flagged.tolist()
+            dn = len(dirty_sets)
+            i = a
+            while i < b:
+                if fl[i - a]:
+                    step(start + i)
+                    i += 1
+                    if len(dirty_sets) != dn and i < b:
+                        dn = len(dirty_sets)
+                        fl[i - a:] = screen(i, b).tolist()
+                    continue
+                j = i + 1
+                while j < b and not fl[j - a]:
+                    j += 1
+                bulk_exec(i, j)
+                i = j
+
+    now = st.now
+    while window:
+        earliest = heappop(window)
+        if earliest > now:
+            now = earliest
+    horizon = engine.hierarchy.finish(now)
+    if horizon > now:
+        now = horizon
+    kernels._flush_shared(cpu_group, l1, len(trace), now, st.stalled,
+                          st.n_tracked, st.n_hits, st.n_misses,
+                          st.n_probes, demand, st.hist)
+    return now

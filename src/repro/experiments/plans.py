@@ -15,6 +15,7 @@ prefetched runner backed by the persistent cache.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import Callable, Dict, Iterable, List, Optional
@@ -183,12 +184,35 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="deterministic fault injection, e.g. "
                              "worker_crash:0.1,seed:7 (also read "
                              "from $REPRO_FAULTS)")
+    parser.add_argument("--shards", type=int, default=1,
+                        metavar="N",
+                        help="split each trace into N window-aligned "
+                             "cold-cache epochs, replayed in parallel "
+                             "under --jobs and merged "
+                             "deterministically (default: 1 = "
+                             "whole-trace replay; sampled runs always "
+                             "replay whole)")
     parser.add_argument("--profile", action="store_true",
                         help="profile the sweep under cProfile: dump "
                              "OUTDIR/profile.pstats and print the top "
                              "20 functions by cumulative time to "
-                             "stderr (workers under --jobs N run "
-                             "unprofiled; use --jobs 1)")
+                             "stderr; pool workers under --jobs N "
+                             "dump per-worker profiles that merge "
+                             "into the same file")
+
+
+def apply_shards(keys: List[RunKey], shards: int) -> List[RunKey]:
+    """Shard every shardable key of a plan.
+
+    Sampled keys (``sample_every > 0``) keep their positional
+    occupancy semantics and stay whole-trace; everything else replays
+    as ``shards`` cold-cache epochs.
+    """
+    if shards <= 1:
+        return keys
+    return [key if key.sample_every
+            else dataclasses.replace(key, shards=shards)
+            for key in keys]
 
 
 def runner_from_args(args: argparse.Namespace,
@@ -200,7 +224,8 @@ def runner_from_args(args: argparse.Namespace,
         os.path.join(args.outdir, TRACECACHE_DIRNAME)
     return ExperimentRunner(verbose=verbose, jobs=args.jobs,
                             cache_dir=cache_dir, refresh=args.refresh,
-                            trace_dir=trace_dir)
+                            trace_dir=trace_dir,
+                            shards=getattr(args, "shards", 1))
 
 
 def supervisor_from_args(args: argparse.Namespace,
@@ -271,9 +296,11 @@ def figure_runner(name: str,
         # Profiling covers the simulation sweep (the figure's own run
         # loop afterwards is pure memo hits, not worth the overhead).
         from ..common.profile_util import profiled
+        plan = apply_shards(planner(),
+                            getattr(args, "shards", 1))
         with profiled(args.outdir, enabled=args.profile):
             run_supervised(supervisor_from_args(args, runner, name),
-                           planner())
+                           plan)
         info = runner.cache_info()
         if info.requests:
             print(f"  [{name}] run cache: {info.describe()}",

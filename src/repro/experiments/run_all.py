@@ -40,19 +40,32 @@ from ..common.errors import (
     SweepFailed,
     SweepInterrupted,
 )
+from ..cache.hierarchy import CacheHierarchy
+from ..common.stats import StatRegistry
+from ..core import kernels, vector
 from ..core.simulator import trace_cache_info
 from ..sw.tracestore import TRACECACHE_DIRNAME
 from . import faults
-from .plans import describe_trace_info, plan_for
-from .runner import RUNCACHE_DIRNAME, ExperimentRunner
+from .plans import apply_shards, describe_trace_info, plan_for
+from .runner import (
+    RUNCACHE_DIRNAME,
+    ExperimentRunner,
+    RunKey,
+    system_for_key,
+)
 from .supervisor import RetryPolicy, RunJournal, Supervisor
 from .table1 import run_table1
 
 
-def _experiments(runner: ExperimentRunner) \
+def _experiments(runner: Optional[ExperimentRunner]) \
         -> Dict[str, Tuple[Callable[[], object],
                            Callable[[object], Dict[str, float]]]]:
-    """Name -> (runner thunk, summary extractor)."""
+    """Name -> (runner thunk, summary extractor).
+
+    ``runner`` may be ``None`` when only the name set matters (the
+    thunks capture it lazily and are never called then, e.g. by
+    :func:`coverage_report`).
+    """
     return {
         "table1": (run_table1, lambda r: {}),
         "fig10": (run_fig10, lambda r: {
@@ -98,6 +111,50 @@ def _experiments(runner: ExperimentRunner) \
     }
 
 
+def dispatch_for_key(key: RunKey) -> str:
+    """Which replay engine one planned point dispatches to.
+
+    Mirrors :meth:`TraceDrivenCpu.run` without materializing the
+    trace: sampled points replay on the packed interpreter (the
+    sampler needs per-op callbacks), everything else asks
+    :func:`repro.core.vector.supports` and
+    :func:`repro.core.kernels.supports` against the point's real
+    hierarchy.  Returns ``"vector"``, ``"kernel"`` or ``"packed"``.
+    """
+    if key.sample_every:
+        return "packed"
+    hierarchy = CacheHierarchy(system_for_key(key), StatRegistry(),
+                               "lru")
+    if not kernels.supports(hierarchy):
+        return "packed"
+    return "vector" if vector.supports(hierarchy) else "kernel"
+
+
+def coverage_report(names: Optional[Tuple[str, ...]] = None) \
+        -> Dict[str, str]:
+    """Replay-engine dispatch per planned figure configuration.
+
+    Collapses the selected experiments' run plans to the unique
+    configurations that decide dispatch (design, memory variant,
+    resident mapping, sampled or not — workloads and LLC sizes share a
+    hierarchy shape) and classifies each one.  This is the
+    ``run_all --dry-run`` payload; ``benchmarks/check_kernel_coverage``
+    diffs it against a committed baseline so a config silently falling
+    off the fast paths fails CI.
+    """
+    experiments = _experiments(None)
+    selected = [name for name in experiments
+                if not names or name in names]
+    report: Dict[str, str] = {}
+    for key in plan_for(selected):
+        label = (f"{key.design}|mem={key.memory}"
+                 f"|resident={int(key.resident)}"
+                 f"|sampled={int(bool(key.sample_every))}")
+        if label not in report:
+            report[label] = dispatch_for_key(key)
+    return dict(sorted(report.items()))
+
+
 def run_all(outdir: str = "results",
             only: Optional[Tuple[str, ...]] = None,
             verbose: bool = True,
@@ -107,7 +164,8 @@ def run_all(outdir: str = "results",
             resume: bool = False,
             max_retries: int = 2,
             run_timeout: Optional[float] = None,
-            inject_faults: Optional[str] = None) \
+            inject_faults: Optional[str] = None,
+            shards: int = 1) \
         -> Dict[str, Dict[str, float]]:
     """Run every (or the selected) experiment; returns the summary.
 
@@ -130,6 +188,10 @@ def run_all(outdir: str = "results",
         inject_faults: deterministic fault-injection spec (see
             :mod:`repro.experiments.faults`); ``None`` leaves the
             ``REPRO_FAULTS`` environment arming untouched.
+        shards: replay each unsampled trace as this many window-aligned
+            cold-cache epochs, parallel under ``jobs`` and merged
+            deterministically (see :class:`RunKey`); 1 keeps the
+            classic whole-trace replay.
 
     Raises:
         SweepInterrupted: SIGINT/SIGTERM stopped the sweep (the
@@ -143,7 +205,7 @@ def run_all(outdir: str = "results",
         else None
     runner = ExperimentRunner(verbose=verbose, jobs=jobs,
                               cache_dir=cache_dir, refresh=refresh,
-                              trace_dir=trace_dir)
+                              trace_dir=trace_dir, shards=shards)
     experiments = _experiments(runner)
     selected = [name for name in experiments
                 if not only or name in only]
@@ -151,7 +213,7 @@ def run_all(outdir: str = "results",
     # figures up front, dedupe, and fill the runner's memo (from the
     # persistent cache where possible, worker processes otherwise);
     # the per-figure run loops below then replay them as memo hits.
-    plan = plan_for(selected)
+    plan = apply_shards(plan_for(selected), shards)
     if plan:
         if verbose:
             print(f"== prefetch: {len(plan)} unique simulation points "
@@ -234,8 +296,31 @@ def main(argv: Optional[List[str]] = None) -> None:
                         help="deterministic fault injection, e.g. "
                              "worker_crash:0.1,seed:7 (also read "
                              "from $REPRO_FAULTS)")
+    parser.add_argument("--shards", type=int, default=1,
+                        metavar="N",
+                        help="split each trace into N window-aligned "
+                             "cold-cache epochs, replayed in parallel "
+                             "under --jobs and merged "
+                             "deterministically (default: 1)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="simulate nothing: print the replay-"
+                             "engine dispatch (vector/kernel/packed) "
+                             "of every planned figure configuration "
+                             "as JSON and exit")
     args = parser.parse_args(argv)
     outdir = args.outdir_opt or args.outdir or "results"
+    if args.dry_run:
+        report = coverage_report(tuple(args.names) or None)
+        if not args.quiet:
+            counts: Dict[str, int] = {}
+            for engine in report.values():
+                counts[engine] = counts.get(engine, 0) + 1
+            described = ", ".join(f"{count} {engine}" for engine, count
+                                  in sorted(counts.items()))
+            print(f"== kernel coverage: {len(report)} configs "
+                  f"({described}) ==", file=sys.stderr)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return
     try:
         summary = run_all(outdir, tuple(args.names) or None,
                           verbose=not args.quiet, jobs=args.jobs,
@@ -244,7 +329,8 @@ def main(argv: Optional[List[str]] = None) -> None:
                           resume=args.resume,
                           max_retries=args.max_retries,
                           run_timeout=args.run_timeout,
-                          inject_faults=args.inject_faults)
+                          inject_faults=args.inject_faults,
+                          shards=args.shards)
     except SweepInterrupted as exc:
         print(f"interrupted: {exc}\n(rerun with --resume to pick up "
               f"where this sweep stopped)", file=sys.stderr)

@@ -34,10 +34,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..common.config import MemoryConfig, SystemConfig, apply_overrides
 from ..common.errors import LockTimeout
 from ..common.locking import file_lock, lock_path_for
+from ..common.profile_util import maybe_profile_worker
+from ..common.types import ShardPlan
 from ..core.simulator import (
     RunResult,
     configure_trace_store,
     ensure_trace,
+    merge_run_results,
     reset_trace_counters,
     run_simulation,
     trace_cache_info,
@@ -79,6 +82,13 @@ class RunKey:
     memory: str  # "default" or "fast"
     sample_every: int
     overrides: Tuple[Tuple[str, object], ...] = ()
+    #: Epoch count of the sharded replay (see
+    #: :func:`repro.core.simulator.run_simulation`'s ``shard=``): the
+    #: packed trace splits at window-aligned boundaries into this many
+    #: cold-cache epochs whose stats merge deterministically.  1 (the
+    #: default) is the classic whole-trace replay.  Incompatible with
+    #: ``sample_every``.
+    shards: int = 1
 
 
 def memory_config(variant: str) -> MemoryConfig:
@@ -103,14 +113,39 @@ def system_for_key(key: RunKey) -> SystemConfig:
     return system
 
 
+def shard_plan_for(key: RunKey) -> ShardPlan:
+    """The epoch plan a sharded key replays (materializes the trace).
+
+    A pure function of the trace length and ``key.shards``, so the
+    parent scheduler, serial fallback, and every pool worker cut the
+    same boundaries independently.
+    """
+    _, trace = ensure_trace(*trace_key_for(key))
+    return ShardPlan.plan(len(trace), key.shards)
+
+
 def simulate_run_key(key: RunKey) -> RunResult:
     """Execute one simulation point (the single source of truth).
 
     Sequential runs, pool workers, and cache refills all call this, so
-    every execution path yields bit-identical statistics.
+    every execution path yields bit-identical statistics.  Sharded
+    keys replay their epochs serially here and merge — the reference
+    the pool execution must (and does) match bit for bit.
     """
-    return run_simulation(system_for_key(key), workload=key.workload,
-                          size=key.size, sample_every=key.sample_every)
+    system = system_for_key(key)
+    if key.shards <= 1:
+        return run_simulation(system, workload=key.workload,
+                              size=key.size,
+                              sample_every=key.sample_every)
+    if key.sample_every:
+        raise ValueError("sample_every and shards>1 are mutually "
+                         "exclusive (samples are positional within "
+                         "one replay)")
+    plan = shard_plan_for(key)
+    parts = [run_simulation(system, workload=key.workload,
+                            size=key.size, shard=(i, key.shards))
+             for i in range(plan.shards)]
+    return merge_run_results(parts)
 
 
 def config_fingerprint(system: SystemConfig) -> str:
@@ -134,6 +169,10 @@ def cache_key(key: RunKey) -> str:
         # field existed, keeping pre-existing cache entries and journal
         # identities valid.
         key_fields.pop("overrides", None)
+    if key_fields.get("shards", 1) <= 1:
+        # Same compatibility rule for the sharding field: unsharded
+        # keys keep their pre-existing hashes.
+        key_fields.pop("shards", None)
     payload = {
         "format": CACHE_FORMAT_VERSION,
         "key": key_fields,
@@ -296,18 +335,30 @@ def trace_key_for(key: RunKey) -> Tuple[str, str, int]:
     return key.workload, key.size, system_for_key(key).logical_dims
 
 
-def _pool_entry(
-        key: RunKey) -> Tuple[RunKey, RunResult, float, int,
-                              Dict[str, int]]:
-    """Worker-side wrapper: simulate one key, report its wall time.
+def _pool_job(
+        job: Tuple[RunKey, Optional[int]]
+) -> Tuple[RunKey, Optional[int], RunResult, float, int,
+           Dict[str, int]]:
+    """Worker-side wrapper: one key (or one epoch of one sharded key).
 
-    Also reports the worker's pid and its cumulative trace-cache
-    counters, so the parent can verify that forked workers replayed
-    inherited traces instead of regenerating them.
+    ``job`` is ``(key, None)`` for a whole simulation point or
+    ``(key, index)`` for epoch ``index`` of ``key.shards``; the parent
+    merges epoch parts in index order.  Also reports the worker's pid
+    and its cumulative trace-cache counters, so the parent can verify
+    that forked workers replayed inherited traces instead of
+    regenerating them.
     """
+    key, index = job
     started = time.time()
-    result = simulate_run_key(key)
-    return (key, result, time.time() - started, os.getpid(),
+    with maybe_profile_worker():
+        if index is None:
+            result = simulate_run_key(key)
+        else:
+            result = run_simulation(system_for_key(key),
+                                    workload=key.workload,
+                                    size=key.size,
+                                    shard=(index, key.shards))
+    return (key, index, result, time.time() - started, os.getpid(),
             trace_cache_info())
 
 
@@ -329,10 +380,12 @@ class ExperimentRunner:
     def __init__(self, verbose: bool = False, jobs: int = 1,
                  cache_dir: Optional[str] = None,
                  refresh: bool = False,
-                 trace_dir: Optional[str] = None) -> None:
+                 trace_dir: Optional[str] = None,
+                 shards: int = 1) -> None:
         self._cache: Dict[RunKey, RunResult] = {}
         self._verbose = verbose
         self._jobs = max(1, int(jobs))
+        self._shards = max(1, int(shards))
         self._disk = RunCache(cache_dir) if cache_dir else None
         self._refresh = refresh
         self._info = CacheInfo()
@@ -348,9 +401,15 @@ class ExperimentRunner:
             llc_mb: float = 1.0, resident: bool = False,
             memory: str = "default",
             sample_every: int = 0) -> RunResult:
-        """Simulate (or recall) one point."""
+        """Simulate (or recall) one point.
+
+        Built keys inherit the runner's default shard count (sampled
+        points always replay whole-trace), so figures re-deriving a
+        prefetched plan through here land on the same memo entries.
+        """
         key = RunKey(design, workload, size, llc_mb, resident, memory,
-                     sample_every)
+                     sample_every,
+                     shards=self._shards if not sample_every else 1)
         cached = self._cache.get(key)
         if cached is not None:
             self._info.memory_hits += 1
@@ -393,7 +452,7 @@ class ExperimentRunner:
         if not pending:
             return 0
         self._info.misses += len(pending)
-        if jobs == 1 or len(pending) == 1:
+        if jobs == 1:
             for key in pending:
                 started = time.time()
                 result = simulate_run_key(key)
@@ -407,23 +466,55 @@ class ExperimentRunner:
         for workload, size, dims in dict.fromkeys(
                 trace_key_for(key) for key in pending):
             ensure_trace(workload, size, dims)
+        # Sharded keys fan out one pool job per epoch (the trace is
+        # already materialized, so the epoch plan is a cheap length
+        # computation); their parts merge in the parent as they
+        # complete.  Everything else is one job per key.
+        jobs_list: List[Tuple[RunKey, Optional[int]]] = []
+        shard_parts: Dict[RunKey, List[Optional[RunResult]]] = {}
+        for key in pending:
+            epochs = shard_plan_for(key).shards if key.shards > 1 \
+                else 1
+            if epochs > 1:
+                shard_parts[key] = [None] * epochs
+                jobs_list.extend((key, i) for i in range(epochs))
+            else:
+                jobs_list.append((key, None))
+        if len(jobs_list) == 1:
+            key = pending[0]
+            started = time.time()
+            result = simulate_run_key(key)
+            self._log(key, result, seconds=time.time() - started)
+            self._store(key, result)
+            return 1
         # POSIX fork keeps workers importable regardless of how the
         # parent was launched (pytest, -m, REPL); fall back otherwise.
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             ctx = multiprocessing.get_context()
-        workers = min(jobs, len(pending))
+        workers = min(jobs, len(jobs_list))
         if self._verbose:
-            print(f"  scheduling {len(pending)} simulation points over "
-                  f"{workers} workers", file=sys.stderr)
+            print(f"  scheduling {len(pending)} simulation points "
+                  f"({len(jobs_list)} jobs) over {workers} workers",
+                  file=sys.stderr)
         # Workers zero their (inherited) trace counters at fork, so the
         # snapshots they report count post-fork activity only.
         with ctx.Pool(processes=workers,
                       initializer=reset_trace_counters) as pool:
-            for key, result, seconds, pid, traces in \
-                    pool.imap_unordered(_pool_entry, pending):
+            for key, index, result, seconds, pid, traces in \
+                    pool.imap_unordered(_pool_job, jobs_list):
                 self._worker_traces[pid] = traces
+                if index is not None:
+                    parts = shard_parts[key]
+                    parts[index] = result
+                    if any(part is None for part in parts):
+                        continue
+                    result = merge_run_results(parts)
+                    self._log(key, result, seconds=seconds,
+                              source=f"{len(parts)} shards")
+                    self._store(key, result)
+                    continue
                 self._log(key, result, seconds=seconds)
                 self._store(key, result)
         return len(pending)

@@ -56,6 +56,7 @@ from ..common.errors import (
     WorkerHang,
     classify_error,
 )
+from ..common.profile_util import maybe_profile_worker
 from ..core.simulator import ensure_trace
 from . import faults
 from .runner import (
@@ -337,7 +338,8 @@ def _supervised_entry(key: RunKey, ck: str, attempt: int,
         faults.maybe_crash_worker(token)
         faults.maybe_hang_worker(token, stall=stop)
         started = time.time()
-        result = simulate_run_key(key)
+        with maybe_profile_worker():
+            result = simulate_run_key(key)
         return ck, result, time.time() - started, os.getpid()
     finally:
         stop.set()

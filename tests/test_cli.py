@@ -104,6 +104,60 @@ class TestProfileFlag:
         assert (outdir / "profile.pstats").is_file()
         assert "profile.pstats" in captured.err
 
+    def test_maybe_profile_worker_inert_without_env(self, monkeypatch):
+        from repro.common import profile_util
+        monkeypatch.delenv(profile_util.PROFILE_DIR_ENV,
+                           raising=False)
+        monkeypatch.setattr(profile_util, "_worker_profiler", None)
+        with profile_util.maybe_profile_worker():
+            pass
+        assert profile_util._worker_profiler is None
+
+    def test_worker_dumps_merge_into_profile(self, tmp_path,
+                                             monkeypatch):
+        """--profile --jobs N: worker-side simulation work shows up.
+
+        Simulates a pool worker in-process: a ``maybe_profile_worker``
+        block under the exported env var dumps per-worker stats, and
+        the enclosing ``profiled`` block merges them into the final
+        ``profile.pstats``.
+        """
+        import io
+        import pstats
+        from repro.common import profile_util
+        from repro.experiments.runner import simulate_run_key
+        from repro.experiments.runner import RunKey
+
+        monkeypatch.setattr(profile_util, "_worker_profiler", None)
+        out = io.StringIO()
+        outdir = tmp_path / "results"
+        with profile_util.profiled(str(outdir), stream=out):
+            # What _pool_job does inside a forked worker.
+            with profile_util.maybe_profile_worker():
+                simulate_run_key(RunKey("1P2L", "sobel", "small", 1.0,
+                                        False, "default", 0))
+        workers = list(outdir.glob("profile.worker-*.pstats"))
+        assert workers, "worker block must dump per-worker stats"
+        assert "(+1 worker profiles)" in out.getvalue()
+        stats = pstats.Stats(str(outdir / "profile.pstats"))
+        merged_functions = {func for _, func in
+                            zip(range(10 ** 6), stats.stats)}
+        assert any("simulate_run_key" in str(func)
+                   for func in merged_functions)
+
+    def test_stale_worker_dumps_removed_on_entry(self, tmp_path,
+                                                 monkeypatch):
+        from repro.common import profile_util
+        monkeypatch.setattr(profile_util, "_worker_profiler", None)
+        outdir = tmp_path / "results"
+        outdir.mkdir()
+        stale = outdir / "profile.worker-99999.pstats"
+        stale.write_bytes(b"junk from a previous run")
+        import io
+        with profile_util.profiled(str(outdir), stream=io.StringIO()):
+            pass
+        assert not stale.exists()
+
 
 class TestJournalCommand:
     def _write_journal(self, outdir, suite="fig10"):

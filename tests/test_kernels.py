@@ -22,7 +22,7 @@ from repro.common.types import (
     PackedTrace,
     Request,
 )
-from repro.core import kernels
+from repro.core import kernels, vector
 from repro.core.cpu import TraceDrivenCpu
 from repro.core.simulator import run_trace
 from repro.core.system import make_system
@@ -130,8 +130,12 @@ class TestKernelParity:
         with kernels.kernel_disabled():
             via_packed = run_trace(make_system(design, 1.0), packed,
                                    name="t")
-        via_kernel = run_trace(make_system(design, 1.0), packed,
-                               name="t")
+        # Pin the vector engine off so this leg really exercises the
+        # scalar run_kernel loop (tests/test_vector.py covers the
+        # vector leg of the same identity).
+        with vector.vector_disabled():
+            via_kernel = run_trace(make_system(design, 1.0), packed,
+                                   name="t")
         assert via_kernel.cycles == via_objects.cycles
         assert via_kernel.ops == via_objects.ops
         assert via_kernel.stats.flat() == via_objects.stats.flat()
@@ -159,8 +163,9 @@ class TestKernelParity:
         system = make_system(design, 1.0)
         packed = generate_packed_trace(build_workload("sgemm", "small"),
                                        system.logical_dims)
-        via_kernel = run_trace(make_system(design, 1.0), packed,
-                               name="t")
+        with vector.vector_disabled():
+            via_kernel = run_trace(make_system(design, 1.0), packed,
+                                   name="t")
         assert compactions, "AGE_LIMIT=300 must force compactions"
         with kernels.kernel_disabled():
             reference = run_trace(make_system(design, 1.0), packed,

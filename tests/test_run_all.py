@@ -34,3 +34,69 @@ class TestRunAll:
                     "layout_mismatch", "future_tiling", "energy",
                     "dynamic_orientation", "multiprogram"}
         assert names == expected
+
+
+class TestKernelCoverage:
+    def test_coverage_report_classifies_every_planned_config(self):
+        from repro.experiments.run_all import coverage_report
+        report = coverage_report()
+        assert report, "figure plans must yield configurations"
+        assert set(report.values()) <= {"vector", "kernel", "packed"}
+        # The flagship design replays vectorized; the baseline keeps
+        # the scalar kernel; sampled points stay on the interpreter.
+        assert report["1P2L|mem=default|resident=0|sampled=0"] \
+            == "vector"
+        assert report["1P1L|mem=default|resident=0|sampled=0"] \
+            == "kernel"
+        assert report["1P2L|mem=default|resident=0|sampled=1"] \
+            == "packed"
+
+    def test_coverage_matches_committed_baseline(self):
+        """The live plan's dispatch equals the committed baseline.
+
+        A mismatch here means a change moved a figure config between
+        replay engines: regenerate the baseline deliberately with
+        ``python -m repro.experiments.run_all --dry-run --quiet``.
+        """
+        from repro.experiments.run_all import coverage_report
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "benchmarks",
+                            "kernel_coverage_baseline.json")
+        with open(path) as handle:
+            baseline = json.load(handle)
+        assert coverage_report() == baseline
+
+    def test_dry_run_cli_prints_json(self, capsys):
+        from repro.experiments.run_all import main
+        main(["--dry-run", "--quiet"])
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert report["1P2L|mem=default|resident=0|sampled=0"] \
+            == "vector"
+
+    def test_checker_passes_against_baseline(self, capsys):
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "check_kernel_coverage",
+            os.path.join(os.path.dirname(__file__), os.pardir,
+                         "benchmarks", "check_kernel_coverage.py"))
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main(["check_kernel_coverage.py"]) == 0
+
+    def test_checker_fails_on_dekernelized_config(self):
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "check_kernel_coverage",
+            os.path.join(os.path.dirname(__file__), os.pardir,
+                         "benchmarks", "check_kernel_coverage.py"))
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        baseline = {"cfg": "vector", "gone": "kernel"}
+        current = {"cfg": "packed", "other": "vector"}
+        failures = module.check(baseline, current)
+        assert len(failures) == 2
+        assert any("now packed" in f for f in failures)
+        assert any("no longer planned" in f for f in failures)
+        # Upgrades and new configs pass.
+        assert module.check({"cfg": "kernel"}, {"cfg": "vector"}) == []

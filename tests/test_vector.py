@@ -1,0 +1,318 @@
+"""The batched, array-vectorized replay path (PR-6 acceptance).
+
+Covers :mod:`repro.core.vector`: coverage dispatch
+(:func:`repro.core.vector.supports` and the ``vector_disabled`` pin),
+three-way bit-identity between the object path, the scalar
+``run_kernel`` loop, and the vector loop, the dependency-window
+planner's boundary cases (windows of size 1, a chunk that is one full
+window, miss-dominated demotion to the fused kernel span), and the
+numpy-absent fallback to ``run_kernel``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import SimulationError
+from repro.common.stats import StatRegistry
+from repro.common.types import (
+    AccessWidth,
+    Orientation,
+    PackedTrace,
+    Request,
+)
+from repro.core import kernels, vector
+from repro.core.cpu import TraceDrivenCpu
+from repro.core.simulator import run_trace
+from repro.core.system import make_system
+from repro.sw.tracegen import generate_packed_trace, generate_trace
+from repro.workloads.registry import build_workload
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as some
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the env
+    HAVE_HYPOTHESIS = False
+
+#: Designs the vector loop covers (kernel-covered with a logically 2-D
+#: L1) and kernel-covered designs that must stay on run_kernel.
+COVERED = ("1P2L", "1P2L_SameSet")
+KERNEL_ONLY = ("1P1L",)
+UNCOVERED = ("1P2L_Dyn", "2P2L", "2P2L_Dense", "2P2L_SlowWrite",
+             "2P2L_L1")
+
+
+def _hierarchy(design, replacement="lru"):
+    system = make_system(design, 1.0)
+    return system, CacheHierarchy(system, StatRegistry(), replacement)
+
+
+def _row_vector(tile, row):
+    """A vector read of row line ``row`` in ``tile`` (see decoder.py)."""
+    return Request(addr=((tile << 6) | (row << 3)) << 3,
+                   orientation=Orientation.ROW,
+                   width=AccessWidth.VECTOR,
+                   is_write=False, ref_id=0)
+
+
+def _hot_trace(n):
+    """Vector reads cycling one tile's 8 row lines: hits after warmup."""
+    return PackedTrace.from_requests(
+        [_row_vector(0, i & 7) for i in range(n)])
+
+
+def _miss_trace(n):
+    """Vector reads striding distinct tiles: miss-dominated."""
+    return PackedTrace.from_requests(
+        [_row_vector(i % 4096, i & 7) for i in range(n)])
+
+
+class TestSupports:
+    @pytest.mark.parametrize("design", COVERED)
+    def test_covered_designs(self, design):
+        _, hierarchy = _hierarchy(design)
+        assert vector.supports(hierarchy)
+
+    @pytest.mark.parametrize("design", KERNEL_ONLY)
+    def test_kernel_only_designs_stay_scalar(self, design):
+        # 1P1L is kernel-covered but logically 1-D: window
+        # classification would cost more than its dict-probe loop.
+        _, hierarchy = _hierarchy(design)
+        assert kernels.supports(hierarchy)
+        assert not vector.supports(hierarchy)
+
+    @pytest.mark.parametrize("design", UNCOVERED)
+    def test_kernel_uncovered_designs_fall_back(self, design):
+        _, hierarchy = _hierarchy(design)
+        assert not vector.supports(hierarchy)
+
+    def test_numpy_absent_falls_back(self, monkeypatch):
+        _, hierarchy = _hierarchy("1P2L")
+        monkeypatch.setattr(vector, "_np", None)
+        assert not vector.supports(hierarchy)
+        # The scalar kernel does not need numpy for dispatch.
+        assert kernels.supports(hierarchy)
+
+    def test_vector_disabled_pin(self):
+        _, hierarchy = _hierarchy("1P2L")
+        assert vector.supports(hierarchy)
+        with vector.vector_disabled():
+            assert not vector.supports(hierarchy)
+        assert vector.supports(hierarchy)
+
+    def test_vector_disabled_restores_on_exception(self):
+        prior = vector.VECTOR_ENABLED
+        with pytest.raises(RuntimeError, match="boom"):
+            with vector.vector_disabled():
+                assert not vector.VECTOR_ENABLED
+                raise RuntimeError("boom")
+        assert vector.VECTOR_ENABLED == prior
+
+    def test_vector_disabled_nests(self):
+        with vector.vector_disabled():
+            with vector.vector_disabled():
+                assert not vector.VECTOR_ENABLED
+            assert not vector.VECTOR_ENABLED
+        assert vector.VECTOR_ENABLED
+
+    def test_vector_disabled_rejects_reentry(self):
+        cm = vector.vector_disabled()
+        with cm:
+            with pytest.raises(RuntimeError, match="entered twice"):
+                cm.__enter__()
+        assert vector.VECTOR_ENABLED
+
+    def test_vector_disabled_restores_on_gc(self):
+        cm = vector.vector_disabled()
+        cm.__enter__()
+        assert not vector.VECTOR_ENABLED
+        del cm
+        assert vector.VECTOR_ENABLED
+
+    def test_engine_rejects_1d_l1(self):
+        _, hierarchy = _hierarchy("1P1L")
+        with pytest.raises(SimulationError, match="2-D"):
+            vector.VectorEngine(hierarchy)
+
+
+class TestVectorParity:
+    @pytest.mark.parametrize("design", COVERED)
+    @pytest.mark.parametrize("workload", ["sobel", "htap1", "sgemm"])
+    def test_three_way_bit_identity(self, design, workload):
+        """Object path, run_kernel, and run_vector agree exactly."""
+        system = make_system(design, 1.0)
+        dims = system.logical_dims
+        program = build_workload(workload, "small")
+        objects = list(generate_trace(program, dims))
+        packed = generate_packed_trace(program, dims)
+
+        via_objects = run_trace(make_system(design, 1.0), objects,
+                                name="t")
+        with vector.vector_disabled():
+            via_kernel = run_trace(make_system(design, 1.0), packed,
+                                   name="t")
+        via_vector = run_trace(make_system(design, 1.0), packed,
+                               name="t")
+        assert via_vector.cycles == via_objects.cycles
+        assert via_vector.ops == via_objects.ops
+        assert via_vector.stats.flat() == via_objects.stats.flat()
+        assert via_vector.stats.flat() == via_kernel.stats.flat()
+
+    def test_numpy_absent_run_matches_vector_run(self, monkeypatch):
+        """Without numpy, cpu.run routes to run_kernel — same stats."""
+        system = make_system("1P2L", 1.0)
+        packed = generate_packed_trace(build_workload("sobel", "small"),
+                                       system.logical_dims)
+        via_vector = run_trace(make_system("1P2L", 1.0), packed,
+                               name="t")
+        monkeypatch.setattr(vector, "_np", None)
+        via_fallback = run_trace(make_system("1P2L", 1.0), packed,
+                                 name="t")
+        assert via_fallback.cycles == via_vector.cycles
+        assert via_fallback.stats.flat() == via_vector.stats.flat()
+
+    @pytest.mark.parametrize("design", COVERED)
+    def test_age_saturation_identity(self, monkeypatch, design):
+        """Stamp compaction lands exactly where the fused loop puts it.
+
+        The bulk path's age guard must drop saturating windows to
+        per-row steps; shrinking AGE_LIMIT forces that constantly.
+        """
+        monkeypatch.setattr(kernels, "AGE_LIMIT", 300)
+        system = make_system(design, 1.0)
+        packed = generate_packed_trace(build_workload("sgemm", "small"),
+                                       system.logical_dims)
+        via_vector = run_trace(make_system(design, 1.0), packed,
+                               name="t")
+        with vector.vector_disabled():
+            reference = run_trace(make_system(design, 1.0), packed,
+                                  name="t")
+        assert via_vector.cycles == reference.cycles
+        assert via_vector.stats.flat() == reference.stats.flat()
+
+    def test_hot_trace_full_window_identity(self):
+        """Chunks that are one full bulk window replay identically."""
+        packed = _hot_trace(3 * vector.CHUNK)
+        via_vector = run_trace(make_system("1P2L", 1.0), packed,
+                               name="t")
+        with vector.vector_disabled():
+            reference = run_trace(make_system("1P2L", 1.0), packed,
+                                  name="t")
+        assert via_vector.cycles == reference.cycles
+        assert via_vector.stats.flat() == reference.stats.flat()
+        # Sanity: the trace really is hit-dense after the 8-line warmup.
+        flat = via_vector.stats.flat()
+        assert flat["cache.L1.hits"] >= 3 * vector.CHUNK - 8
+
+    def test_miss_trace_demotion_identity(self):
+        """Miss-dominated traces demote to the fused kernel span.
+
+        Long enough to cross DEMOTE_AFTER with a bulk fraction far
+        below the guard, so the demotion branch executes; results must
+        stay bit-identical (the span *is* the kernel loop).
+        """
+        packed = _miss_trace(vector.DEMOTE_AFTER + vector.CHUNK + 7)
+        via_vector = run_trace(make_system("1P2L", 1.0), packed,
+                               name="t")
+        with vector.vector_disabled():
+            reference = run_trace(make_system("1P2L", 1.0), packed,
+                                  name="t")
+        assert via_vector.cycles == reference.cycles
+        assert via_vector.stats.flat() == reference.stats.flat()
+
+    def test_single_row_windows_identity(self):
+        """Alternating hit/miss rows: every window has size 1."""
+        reqs = []
+        for i in range(2048):
+            reqs.append(_row_vector(0, i & 7))       # hot tile: hit
+            reqs.append(_row_vector(16 + (i % 512), i & 7))  # stride
+        packed = PackedTrace.from_requests(reqs)
+        via_vector = run_trace(make_system("1P2L", 1.0), packed,
+                               name="t")
+        with vector.vector_disabled():
+            reference = run_trace(make_system("1P2L", 1.0), packed,
+                                  name="t")
+        assert via_vector.cycles == reference.cycles
+        assert via_vector.stats.flat() == reference.stats.flat()
+
+    def test_cpu_dispatches_vector_for_covered_design(self, monkeypatch):
+        """cpu.run prefers run_vector when vector.supports says so."""
+        calls = []
+        original = vector.VectorEngine.replay
+
+        def counting(self, trace, cpu_config, cpu_group):
+            calls.append(len(trace))
+            return original(self, trace, cpu_config, cpu_group)
+
+        monkeypatch.setattr(vector.VectorEngine, "replay", counting)
+        system = make_system("1P2L", 1.0)
+        packed = generate_packed_trace(build_workload("sobel", "small"),
+                                       system.logical_dims)
+        stats = StatRegistry()
+        cpu = TraceDrivenCpu(system.cpu,
+                             CacheHierarchy(system, stats), stats)
+        cpu.run(packed)
+        assert calls == [len(packed)]
+
+
+class TestWindowSpans:
+    def test_empty_mask(self):
+        assert vector.window_spans([]) == []
+
+    @pytest.mark.parametrize("mask,expect", [
+        ([True], [(0, 1, True)]),
+        ([False], [(0, 1, False)]),
+        ([True] * 4, [(0, 4, True)]),
+        ([False] * 4, [(0, 4, False)]),
+        ([True, False, True],
+         [(0, 1, True), (1, 2, False), (2, 3, True)]),
+        ([False, False, True, True, False],
+         [(0, 2, False), (2, 4, True), (4, 5, False)]),
+    ])
+    def test_known_masks(self, mask, expect):
+        assert vector.window_spans(mask) == expect
+
+    if HAVE_HYPOTHESIS:
+        @settings(max_examples=200, deadline=None)
+        @given(some.lists(some.booleans(), max_size=64))
+        def test_spans_tile_and_alternate(self, mask):
+            spans = vector.window_spans(mask)
+            if not mask:
+                assert spans == []
+                return
+            # Spans tile the mask exactly, in order.
+            assert [s for s, _, _ in spans] == \
+                [0] + [t for _, t, _ in spans[:-1]]
+            assert spans[-1][1] == len(mask)
+            # Each span is constant and maximal (kinds alternate).
+            for (start, stop, is_bulk), nxt in zip(
+                    spans, spans[1:] + [None]):
+                assert all(bool(m) == is_bulk
+                           for m in mask[start:stop])
+                if nxt is not None:
+                    assert nxt[2] != is_bulk
+
+
+class TestClassify:
+    def test_cold_cache_classifies_nothing(self):
+        _, hierarchy = _hierarchy("1P2L")
+        engine = vector.VectorEngine(hierarchy)
+        packed = _hot_trace(64)
+        bulk = vector.classify_chunk(engine, packed.words)
+        assert len(bulk) == 64
+        assert not bulk.any()
+
+    def test_warm_cache_classifies_hits(self):
+        system, hierarchy = _hierarchy("1P2L")
+        engine = vector.VectorEngine(hierarchy)
+        packed = _hot_trace(64)
+        registry = StatRegistry()
+        engine.replay(packed, system.cpu, registry.group("cpu"))
+        # Replay leftovers: stale in-flight markers would mask the
+        # re-read as scalar; classification treats them as live
+        # relative to its own start time.
+        engine.levels[0].ready_at.clear()
+        bulk = vector.classify_chunk(engine, packed.words)
+        assert bulk.all()
