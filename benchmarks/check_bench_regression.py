@@ -35,12 +35,17 @@ THROUGHPUT_KEYS = (
     "hot_loop_requests_per_sec",
     "packed_loop_requests_per_sec",
     "kernel_loop_requests_per_sec",
+    "kernel_2p2l_requests_per_sec",
     "vector_loop_requests_per_sec",
 )
 
 #: The vector replay must clear this multiple of the fused kernel
 #: loop within one artifact (same host, same session).
 VECTOR_KERNEL_RATIO = 2.0
+
+#: The 2P2L kernel replay must clear this multiple of the packed loop
+#: on the same trace within one artifact (the PR-7 acceptance bar).
+KERNEL_2P2L_PACKED_RATIO = 1.8
 
 
 def _load(path):
@@ -95,6 +100,19 @@ def check(baseline, current):
         else:
             print(f"  ok     vector/kernel ratio: {ratio:.2f}x "
                   f"(bar {VECTOR_KERNEL_RATIO:.1f}x)")
+    k2 = current.get("kernel_2p2l_requests_per_sec")
+    p2 = current.get("kernel_2p2l_packed_requests_per_sec")
+    if isinstance(k2, (int, float)) and isinstance(p2, (int, float)) \
+            and p2 > 0:
+        ratio = k2 / p2
+        if ratio < KERNEL_2P2L_PACKED_RATIO:
+            failures.append(
+                f"2P2L kernel/packed ratio: {k2:,.0f} req/s is only "
+                f"{ratio:.2f}x the packed loop ({p2:,.0f} req/s); "
+                f"the acceptance bar is {KERNEL_2P2L_PACKED_RATIO:.1f}x")
+        else:
+            print(f"  ok     2P2L kernel/packed ratio: {ratio:.2f}x "
+                  f"(bar {KERNEL_2P2L_PACKED_RATIO:.1f}x)")
     return failures
 
 

@@ -66,6 +66,26 @@ def check(baseline, current):
     return failures
 
 
+def print_rank_diff(baseline, current, out=None):
+    """Full per-config rank movement table (old rank -> new rank).
+
+    Printed on failure so the log shows every config's movement, not
+    just the regressed ones — a dispatch change usually moves several
+    configs at once, and the passing rows locate which layer moved.
+    """
+    out = out or sys.stderr
+    print("  per-config dispatch ranks (old -> new):", file=out)
+    for label in sorted(set(baseline) | set(current)):
+        base_engine = baseline.get(label)
+        curr_engine = current.get(label)
+        base = (f"{base_engine}({ENGINE_RANK.get(base_engine, 0)})"
+                if base_engine is not None else "absent")
+        curr = (f"{curr_engine}({ENGINE_RANK.get(curr_engine, 0)})"
+                if curr_engine is not None else "absent")
+        marker = "  " if base == curr else "->"
+        print(f"    {marker} {label}: {base} -> {curr}", file=out)
+
+
 def main(argv):
     if len(argv) > 2:
         print(__doc__, file=sys.stderr)
@@ -80,6 +100,7 @@ def main(argv):
     if failures:
         for failure in failures:
             print(f"  FAIL   {failure}", file=sys.stderr)
+        print_rank_diff(baseline, current)
         return 1
     print("  coverage gate passed")
     return 0

@@ -79,6 +79,15 @@ class Cache1P2L(CacheLevel):
             self._predictor = OrientationPredictor(
                 stats.group(f"cache.{config.name}.orientation"))
 
+    @property
+    def predictor(self) -> Optional[OrientationPredictor]:
+        """The dynamic-orientation predictor, if this level has one.
+
+        The kernel engine mirrors it into flat arrays
+        (:class:`repro.core.kernels._FlatPredictor`) sharing its
+        counter cells."""
+        return self._predictor
+
     # -- CPU-facing -------------------------------------------------------------
 
     def access(self, req: Request, now: int) -> AccessResult:

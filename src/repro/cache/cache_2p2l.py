@@ -40,6 +40,25 @@ from ..common.types import (
 from .base import FULL_MASK, CacheLevel
 
 
+#: Width of one packed per-block bit word: rows in bits 0-7, columns in
+#: bits 8-15 — i.e. bit ``orientation << 3 | index``, matching the low
+#: four bits of a line id (``line & 15``).  The kernel mirror
+#: (:class:`repro.core.kernels._Kernel2P2L`) keeps one presence word
+#: and one dirty word per block slot in exactly this layout.
+PACKED_WORD_BITS = 16
+PACKED_WORD_MASK = (1 << PACKED_WORD_BITS) - 1
+
+
+def pack_block_word(rows: int, cols: int) -> int:
+    """Pack per-direction 8-bit masks into one 16-bit block word."""
+    return (rows & FULL_MASK) | ((cols & FULL_MASK) << 8)
+
+
+def unpack_block_word(word: int) -> Tuple[int, int]:
+    """Split a packed 16-bit block word back into (rows, cols)."""
+    return word & FULL_MASK, (word >> 8) & FULL_MASK
+
+
 @dataclass
 class BlockState:
     """Presence and dirty masks for one resident 2-D block."""
@@ -48,6 +67,22 @@ class BlockState:
     cols_present: int = 0
     rows_dirty: int = 0
     cols_dirty: int = 0
+
+    def presence_word(self) -> int:
+        """This block's presence masks as one packed 16-bit word."""
+        return pack_block_word(self.rows_present, self.cols_present)
+
+    def dirty_word(self) -> int:
+        """This block's dirty masks as one packed 16-bit word."""
+        return pack_block_word(self.rows_dirty, self.cols_dirty)
+
+    @classmethod
+    def from_words(cls, presence: int, dirty: int) -> "BlockState":
+        """Rebuild a block from its packed presence and dirty words."""
+        rows_present, cols_present = unpack_block_word(presence)
+        rows_dirty, cols_dirty = unpack_block_word(dirty)
+        return cls(rows_present=rows_present, cols_present=cols_present,
+                   rows_dirty=rows_dirty, cols_dirty=cols_dirty)
 
     def present(self, orientation: Orientation, index: int) -> bool:
         mask = (self.rows_present if orientation is Orientation.ROW
@@ -87,6 +122,21 @@ class Cache2P2L(CacheLevel):
         super().__init__(config, level_index, stats, replacement)
         self._blocks: Dict[int, BlockState] = {}
         self._sparse = config.sparse_fill
+        # Pre-bound counter cells: faster on the protocol paths, and
+        # pre-creation keeps the stat key set identical to the kernel
+        # mirror (which binds the same keys up front).
+        self._c_hits = self._stats.counter("hits")
+        self._c_misses = self._stats.counter("misses")
+        self._c_fetch_requests = self._stats.counter("fetch_requests")
+        self._c_cross_direction_hits = \
+            self._stats.counter("cross_direction_hits")
+        self._c_partial_block_hits = \
+            self._stats.counter("partial_block_hits")
+        self._c_writebacks_in = self._stats.counter("writebacks_in")
+        self._c_writebacks_out = self._stats.counter("writebacks_out")
+        self._c_dense_fill_lines = \
+            self._stats.counter("dense_fill_lines")
+        self._c_evictions = self._stats.counter("evictions")
 
     # -- CPU-facing (Design 3 / future-work support) ---------------------------
 
@@ -106,13 +156,13 @@ class Cache2P2L(CacheLevel):
                     or block.fully_present()
         if hit:
             self._touch(tile)
-            self._stats.add("hits")
+            self._c_hits.value += 1
             if req.is_write:
                 self._mark_write(block, orientation, index, r, c,
                                  req.width)
                 return AccessResult(self._write_latency, self._level)
             return AccessResult(self._hit_latency, self._level)
-        self._stats.add("misses")
+        self._c_misses.value += 1
         probe = self._tag_latency
         completion, level = self._fill_line_into_block(line, now + probe,
                                                        req.width)
@@ -140,7 +190,7 @@ class Cache2P2L(CacheLevel):
 
     def fetch_line(self, line_id: int, now: int,
                    width: AccessWidth) -> Tuple[int, int]:
-        self._stats.add("fetch_requests")
+        self._c_fetch_requests.value += 1
         self._probe()
         tile, orientation, index = line_id_parts(line_id)
         block = self._blocks.get(tile)
@@ -154,16 +204,16 @@ class Cache2P2L(CacheLevel):
                 # crosspoint array can stream it out either way.
                 block.mark_present(orientation, index)
                 self._touch(tile)
-                self._stats.add("cross_direction_hits")
+                self._c_cross_direction_hits.value += 1
                 return now + self._hit_latency, self._level
-            self._stats.add("partial_block_hits")
+            self._c_partial_block_hits.value += 1
         completion, level = self._fill_line_into_block(
             line_id, now + self._tag_latency, width)
         return completion + self._cfg.data_latency, level
 
     def writeback_line(self, line_id: int, dirty_mask: int,
                        now: int) -> int:
-        self._stats.add("writebacks_in")
+        self._c_writebacks_in.value += 1
         self._probe()
         tile, orientation, index = line_id_parts(line_id)
         block = self._blocks.get(tile)
@@ -229,7 +279,7 @@ class Cache2P2L(CacheLevel):
             line = make_line_id(tile, orientation, k)
             horizon, _ = self._fetch_below(line, horizon,
                                            AccessWidth.VECTOR)
-            self._stats.add("dense_fill_lines")
+            self._c_dense_fill_lines.value += 1
         block.rows_present = FULL_MASK
         block.cols_present = FULL_MASK
 
@@ -251,13 +301,13 @@ class Cache2P2L(CacheLevel):
         their writeback automatically.
         """
         block = self._blocks.pop(tile)
-        self._stats.add("evictions")
+        self._c_evictions.value += 1
         for orientation, dirty in ((Orientation.ROW, block.rows_dirty),
                                    (Orientation.COLUMN, block.cols_dirty)):
             for k in range(LINES_PER_TILE):
                 if dirty & (1 << k):
                     line = make_line_id(tile, orientation, k)
-                    self._stats.add("writebacks_out")
+                    self._c_writebacks_out.value += 1
                     self._lower.writeback_line(line, FULL_MASK, now)
 
     # -- introspection ---------------------------------------------------------------

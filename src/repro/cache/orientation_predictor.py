@@ -33,6 +33,12 @@ from typing import Dict
 from ..common.stats import StatGroup
 from ..common.types import Orientation, line_id_of
 
+#: Shared defaults, also read by the flat-array predictor mirror in
+#: :mod:`repro.core.kernels` (``_FlatPredictor``).
+DEFAULT_THRESHOLD = 2
+DEFAULT_SATURATION = 4
+DEFAULT_TABLE_ENTRIES = 64
+
 
 @dataclass
 class _RefState:
@@ -44,8 +50,10 @@ class _RefState:
 class OrientationPredictor:
     """Per-reference saturating orientation predictor."""
 
-    def __init__(self, stats: StatGroup, threshold: int = 2,
-                 saturation: int = 4, table_entries: int = 64) -> None:
+    def __init__(self, stats: StatGroup,
+                 threshold: int = DEFAULT_THRESHOLD,
+                 saturation: int = DEFAULT_SATURATION,
+                 table_entries: int = DEFAULT_TABLE_ENTRIES) -> None:
         if not 1 <= threshold <= saturation:
             raise ValueError("need 1 <= threshold <= saturation")
         self._stats = stats
@@ -53,6 +61,34 @@ class OrientationPredictor:
         self._saturation = saturation
         self._capacity = table_entries
         self._table: Dict[int, _RefState] = {}
+        # Pre-bound counter cells: the hot path bumps cells directly,
+        # and pre-creation keeps the stat key set identical between the
+        # object path and the kernel mirror (which shares these cells).
+        self._c_table_evictions = stats.counter("table_evictions")
+        self._c_static_fallbacks = stats.counter("static_fallbacks")
+        self._c_predictions = stats.counter("predictions")
+        self._c_overrides = stats.counter("overrides")
+
+    # -- kernel-mirror exposure (read by kernels._FlatPredictor) ----------
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def saturation(self) -> int:
+        return self._saturation
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def counter_cells(self):
+        """(table_evictions, static_fallbacks, predictions, overrides)
+        cells, shared with the flat mirror for bit-identical stats."""
+        return (self._c_table_evictions, self._c_static_fallbacks,
+                self._c_predictions, self._c_overrides)
 
     def observe_and_predict(self, ref_id: int, addr: int,
                             static_pref: Orientation) -> Orientation:
@@ -64,7 +100,7 @@ class OrientationPredictor:
         if state is None:
             if len(self._table) >= self._capacity:
                 del self._table[next(iter(self._table))]
-                self._stats.add("table_evictions")
+                self._c_table_evictions.value += 1
             state = _RefState()
             self._table[ref_id] = state
         row_line = line_id_of(addr, Orientation.ROW)
@@ -87,11 +123,11 @@ class OrientationPredictor:
         elif state.counter <= -self._threshold:
             prediction = Orientation.ROW
         else:
-            self._stats.add("static_fallbacks")
+            self._c_static_fallbacks.value += 1
             return static_pref
-        self._stats.add("predictions")
+        self._c_predictions.value += 1
         if prediction is not static_pref:
-            self._stats.add("overrides")
+            self._c_overrides.value += 1
         return prediction
 
     def confidence(self, ref_id: int) -> int:

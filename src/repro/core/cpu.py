@@ -93,16 +93,19 @@ class TraceDrivenCpu:
         """Execute a trace; returns total cycles including drain.
 
         A :class:`PackedTrace` is dispatched to :meth:`run_vector`
-        when the batched window replay covers the design, else to
-        :meth:`run_kernel` when the fused flat-store kernel does (and
-        no occupancy sampler needs per-request callbacks), else to
-        :meth:`run_packed` — all bit-identical to the object path
-        below, which any other iterable takes.
+        when the batched window replay covers the design and the trace
+        is long enough to amortize its classification passes
+        (``vector.MIN_VECTOR_TRACE``), else to :meth:`run_kernel` when
+        the fused flat-store kernel does (and no occupancy sampler
+        needs per-request callbacks), else to :meth:`run_packed` — all
+        bit-identical to the object path below, which any other
+        iterable takes.
         """
         if isinstance(trace, PackedTrace):
             if (sampler is None or sample_every <= 0) \
                     and kernels.supports(self._hierarchy):
-                if vector.supports(self._hierarchy):
+                if len(trace) >= vector.MIN_VECTOR_TRACE \
+                        and vector.supports(self._hierarchy):
                     return self.run_vector(trace)
                 return self.run_kernel(trace)
             return self.run_packed(trace, sampler, sample_every)

@@ -45,10 +45,15 @@ kernel run produces **bit-identical counters** to the object path —
 ``tests/test_kernels.py`` enforces this across the covered design x
 workload matrix.
 
-Coverage: every level must be physically 1-D (``Cache1P1L`` or
-``Cache1P2L``, either index mapping) with static orientation and LRU
-replacement.  2P2L levels, dynamic-orientation prediction, non-LRU
-policies, and occupancy-sampled runs stay on the reference
+Coverage: LRU replacement throughout; physically 1-D levels
+(``Cache1P1L`` or ``Cache1P2L``, either index mapping) anywhere in the
+hierarchy; a physically 2-D block store (``Cache2P2L``, dense or
+sparse fill) as the last level (:class:`_Kernel2P2L`, which packs each
+block's presence and dirty line masks into one 16-bit word per slot);
+and dynamic orientation prediction on a 1P2L L1 (the predictor table
+mirrored into flat arrays by :class:`_FlatPredictor`, sharing the
+object predictor's counter cells).  A physically 2-D L1 or mid-level,
+non-LRU policies, and occupancy-sampled runs stay on the reference
 ``run_packed`` path (see :func:`supports`).
 """
 
@@ -61,7 +66,7 @@ from typing import Dict, List
 
 from ..common.errors import SimulationError
 from ..common.stats import LAT_HIST_KEYS
-from ..common.types import AccessWidth
+from ..common.types import AccessWidth, LINES_PER_TILE
 
 try:  # optional accelerator for trace predecode (pure fallback below)
     import numpy as _np
@@ -103,9 +108,21 @@ def supports(hierarchy) -> bool:
         return False
     if hierarchy.replacement != "lru":
         return False
-    for level in hierarchy.levels:
+    levels = hierarchy.levels
+    last = len(levels) - 1
+    for pos, level in enumerate(levels):
         cfg = level.config
-        if cfg.physical_dims != 1 or cfg.dynamic_orientation:
+        if cfg.physical_dims == 2:
+            # A 2P2L block store is covered only as the last (lowest)
+            # level: there its CPU-facing ``access`` path (Design 3)
+            # is never exercised, so the flat mirror only needs the
+            # inter-level protocol.
+            if pos == 0 or pos != last or cfg.logical_dims != 2:
+                return False
+        elif cfg.dynamic_orientation and \
+                (pos != 0 or cfg.logical_dims != 2):
+            # Orientation prediction only exists on the CPU-facing
+            # scalar paths of a 1P2L L1.
             return False
     l1_cfg = hierarchy.l1.config
     if l1_cfg.logical_dims == 1 and l1_cfg.prefetcher.enabled:
@@ -283,6 +300,109 @@ def _predecode_1l(words):
         line = ((w >> 25) << 4) | ((w >> 22) & 7)
         append((line << 5) | mode_bits | ((w >> 19) & 7))
     return packed, demand
+
+
+def _predecode_refs(words):
+    """Static reference ids (packed-word bits 0-15), one per request.
+
+    Only the dynamic-orientation loop needs these — the static loops
+    never look at the reference id — so they decode in a separate
+    (numpy-gated) pass rather than widening the shared predecode.
+    """
+    if _np is not None:
+        return (_np.frombuffer(words, dtype=_np.uint64)
+                & _np.uint64(0xFFFF)).tolist()
+    return [w & 0xFFFF for w in words]
+
+
+class _FlatPredictor:
+    """Flat-array mirror of :class:`OrientationPredictor`.
+
+    The object predictor keeps a dict of per-reference dataclasses and
+    relies on dict insertion order for FIFO table eviction.  Entries
+    are never re-inserted (state mutates in place), so first-touch
+    order *is* the FIFO order, and a circular slot cursor reproduces
+    it exactly: the table fills slots ``0..capacity-1`` in first-touch
+    order, then each eviction frees the slot under the cursor (always
+    the oldest live entry) and installs the newcomer there.
+
+    Counter cells are shared with the object predictor
+    (:meth:`OrientationPredictor.counter_cells`), so a kernel replay
+    leaves bit-identical predictor statistics.
+    """
+
+    __slots__ = (
+        "slot_of", "refs", "last_row", "last_col", "counter",
+        "capacity", "size", "head", "threshold", "saturation",
+        "c_table_evictions", "c_static_fallbacks", "c_predictions",
+        "c_overrides",
+    )
+
+    def __init__(self, predictor) -> None:
+        capacity = predictor.capacity
+        self.capacity = capacity
+        self.threshold = predictor.threshold
+        self.saturation = predictor.saturation
+        self.slot_of: Dict[int, int] = {}
+        self.refs: List[int] = [0] * capacity
+        self.last_row: List[int] = [-1] * capacity
+        self.last_col: List[int] = [-1] * capacity
+        self.counter: List[int] = [0] * capacity
+        self.size = 0
+        self.head = 0
+        (self.c_table_evictions, self.c_static_fallbacks,
+         self.c_predictions, self.c_overrides) = predictor.counter_cells
+
+    def observe(self, ref: int, row_line: int, col_line: int,
+                static_bit: int) -> int:
+        """Train on one scalar access; returns the orientation bit.
+
+        Mirrors ``OrientationPredictor.observe_and_predict`` with line
+        ids precomputed by the caller (the predecoded loop already has
+        both) and orientations as line-id bits (row=0 / column=1).
+        """
+        slot = self.slot_of.get(ref)
+        counters = self.counter
+        if slot is None:
+            if self.size >= self.capacity:
+                head = self.head
+                del self.slot_of[self.refs[head]]
+                self.c_table_evictions.value += 1
+                slot = head
+                head += 1
+                self.head = head if head < self.capacity else 0
+            else:
+                slot = self.size
+                self.size = slot + 1
+            self.slot_of[ref] = slot
+            self.refs[slot] = ref
+            self.last_row[slot] = -1
+            self.last_col[slot] = -1
+            ctr = 0
+        else:
+            ctr = counters[slot]
+        same_row = row_line == self.last_row[slot]
+        same_col = col_line == self.last_col[slot]
+        if same_col and not same_row:
+            if ctr < self.saturation:
+                ctr += 1
+        elif same_row and not same_col:
+            if ctr > -self.saturation:
+                ctr -= 1
+        counters[slot] = ctr
+        self.last_row[slot] = row_line
+        self.last_col[slot] = col_line
+        if ctr >= self.threshold:
+            prediction = 1
+        elif ctr <= -self.threshold:
+            prediction = 0
+        else:
+            self.c_static_fallbacks.value += 1
+            return static_bit
+        self.c_predictions.value += 1
+        if prediction != static_bit:
+            self.c_overrides.value += 1
+        return prediction
 
 
 class _FlatStore:
@@ -627,31 +747,23 @@ class _Kernel2L(_FlatStore):
         """
         if self.tile_count.get((line >> 3) ^ 1):
             self.clean_intersecting(line, now)
-        # -- MshrFile.fetch_slot(line, now, ordered=True), inlined,
-        # with fully lazy retirement: the object path deletes completed
-        # entries before every lookup; here stale entries are instead
-        # filtered at each read site (``at > now`` is exactly the
-        # post-retire live set) and only swept out under capacity
-        # pressure.  Counters and issue times match exactly.
+        # -- MshrFile.fetch_slot(line, now, ordered=True), inlined.
+        # Retirement is eager, as in the object path: as a lower
+        # level this method runs at the *upper* level's issue times,
+        # which are not monotonic (a barrier- or stall-raised issue
+        # can precede a later call's smaller clock), and the object's
+        # retirement is permanent at the high-water mark — lazily
+        # filtering by the current ``now`` would resurrect retired
+        # entries into the barrier and capacity scans.  The sweep
+        # self-gates on the ``earliest`` bound, so it is O(1) when
+        # nothing can have retired.
+        self._mshr_retire(now)
         pending_at = self.pending_at
         completion = pending_at.get(line)
-        if completion is not None and completion > now:
+        if completion is not None:
             self.c_mshr_coalesced.value += 1
             level = self.pending_lvl[line]
         else:
-            if completion is not None:
-                # Same-line entry that already completed — the object
-                # path would have retired it; drop it so the per-tile
-                # pending counts stay exact.
-                del pending_at[line]
-                del self.pending_lvl[line]
-                tiles = self.pending_tiles
-                key = line >> 3
-                count = tiles[key] - 1
-                if count:
-                    tiles[key] = count
-                else:
-                    del tiles[key]
             issue = now
             if pending_at:
                 # 2-D ordering: perpendicular outstanding fills of the
@@ -661,19 +773,19 @@ class _Kernel2L(_FlatStore):
                 if self.pending_tiles.get(perp_key):
                     c_blocks = self.c_ordering_blocks
                     for other, at in pending_at.items():
-                        if other >> 3 == perp_key and at > now:
+                        if other >> 3 == perp_key:
                             if at > issue:
                                 issue = at
                             c_blocks.value += 1
-                if len(pending_at) >= self.mshr_capacity:
-                    self._mshr_retire(now)
-                    c_stalls = self.c_full_stalls
-                    while len(pending_at) >= self.mshr_capacity:
-                        stall_until = min(pending_at.values())
-                        if stall_until > issue:
-                            issue = stall_until
-                        c_stalls.value += 1
-                        self._mshr_retire(stall_until)
+                    if issue > now:
+                        self._mshr_retire(issue)
+                c_stalls = self.c_full_stalls
+                while len(pending_at) >= self.mshr_capacity:
+                    stall_until = min(pending_at.values())
+                    if stall_until > issue:
+                        issue = stall_until
+                    c_stalls.value += 1
+                    self._mshr_retire(stall_until)
             lget = self.lower_slots_get
             lslot = lget(line) if lget is not None else None
             if lslot is not None:
@@ -852,25 +964,15 @@ class _Kernel1L(_FlatStore):
         """
         issue = now + self.tag_latency
         # -- MshrFile.fetch_slot(line, issue, ordered=False), inlined,
-        # with lazy retirement (see _Kernel2L.fill_line) --
+        # with eager retirement (see _Kernel2L.fill_line) --
+        self._mshr_retire(issue)
         pending_at = self.pending_at
         completion = pending_at.get(line)
-        if completion is not None and completion > issue:
+        if completion is not None:
             self.c_mshr_coalesced.value += 1
             level = self.pending_lvl[line]
         else:
-            if completion is not None:
-                del pending_at[line]
-                del self.pending_lvl[line]
-                tiles = self.pending_tiles
-                key = line >> 3
-                count = tiles[key] - 1
-                if count:
-                    tiles[key] = count
-                else:
-                    del tiles[key]
             if len(pending_at) >= self.mshr_capacity:
-                self._mshr_retire(issue)
                 c_stalls = self.c_full_stalls
                 while len(pending_at) >= self.mshr_capacity:
                     stall_until = min(pending_at.values())
@@ -1055,6 +1157,208 @@ class _Kernel1L(_FlatStore):
         self.slot_of[line] = free
 
 
+class _Kernel2P2L(_FlatStore):
+    """Flat-store mirror of :class:`repro.cache.cache_2p2l.Cache2P2L`.
+
+    One slot per 512-byte 2-D block: ``tags`` holds the tile id,
+    ``meta`` only the valid bit and LRU stamp, and two parallel lists
+    pack each block's per-line state into 16-bit words in the
+    :func:`repro.cache.cache_2p2l.pack_block_word` layout — bit
+    ``line & 15`` (rows in bits 0-7, columns in 8-15) in ``present``
+    gates sparse fills and cross-direction hits, the same bit in
+    ``dirty`` drives per-line writeback accounting on eviction.
+    Covered only as the last level, so only the inter-level protocol
+    (``fetch_line`` / ``writeback_line``) is mirrored; the Design 3
+    ``access`` path stays on the reference engines.
+    """
+
+    __slots__ = (
+        "sparse", "write_extra", "present", "dirty",
+        "c_cross_direction_hits", "c_partial_block_hits",
+        "c_writebacks_in", "c_writebacks_out", "c_dense_fill_lines",
+        "c_evictions",
+    )
+
+    def __init__(self, level) -> None:
+        super().__init__(level)
+        cfg = self.cfg
+        self.sparse = cfg.sparse_fill
+        self.write_extra = cfg.write_extra_latency
+        nslots = cfg.num_sets * cfg.assoc
+        self.present: List[int] = [0] * nslots
+        self.dirty: List[int] = [0] * nslots
+        stats = level.stats
+        self.c_cross_direction_hits = \
+            stats.counter("cross_direction_hits")
+        self.c_partial_block_hits = stats.counter("partial_block_hits")
+        self.c_writebacks_in = stats.counter("writebacks_in")
+        self.c_writebacks_out = stats.counter("writebacks_out")
+        self.c_dense_fill_lines = stats.counter("dense_fill_lines")
+        self.c_evictions = stats.counter("evictions")
+
+    # -- inter-level protocol ------------------------------------------------
+
+    def fetch_line(self, line: int, now: int, width):
+        self.c_fetch_requests.value += 1
+        self.c_tag_probes.value += 1
+        slot = self.slot_of.get(line >> 4)
+        if slot is not None:
+            presence = self.present[slot]
+            bit = 1 << (line & 15)
+            if presence & bit:
+                return (self._hit_completion(line, slot, now)
+                        + self.hit_latency, self.level_index)
+            if (presence & 0xFF) == 0xFF or (presence >> 8) == 0xFF:
+                # Every word is resident via the other direction; the
+                # crosspoint array streams it out either way.
+                self.present[slot] = presence | bit
+                self._touch(slot)
+                self.c_cross_direction_hits.value += 1
+                return now + self.hit_latency, self.level_index
+            self.c_partial_block_hits.value += 1
+        completion, level = self._fill_block_line(
+            line, now + self.tag_latency, width)
+        return completion + self.data_latency, level
+
+    def writeback_line(self, line: int, dirty_mask: int, now: int) -> int:
+        self.c_writebacks_in.value += 1
+        self.c_tag_probes.value += 1
+        tile = line >> 4
+        slot = self.slot_of.get(tile)
+        if slot is None:
+            slot = self._allocate_slot(tile, now)
+            if not self.sparse:
+                self._fill_whole_block(slot, tile, (line >> 3) & 1,
+                                       now, line & 7)
+        else:
+            self._touch(slot)
+        bit = 1 << (line & 15)
+        self.present[slot] |= bit
+        self.dirty[slot] |= bit
+        return now + self.tag_latency + self.write_extra
+
+    # -- internals ----------------------------------------------------------
+
+    def _fetch_below(self, line: int, now: int, width):
+        """``MshrFile.fetch_slot(..., ordered=True)`` + fetch + record.
+
+        Unlike :meth:`_Kernel2L.fill_line`, this sweeps retired
+        entries *eagerly* at every call: dense fills chain fetches at
+        horizon times far ahead of the CPU clock, so call times are
+        not monotonic, and the object path's eager retirement is
+        permanent at the high-water mark — a lazy same-``now`` filter
+        would resurrect long-retired entries for the capacity check
+        and stall spuriously.  The sweep self-gates on the ``earliest``
+        bound, so it stays O(1) when nothing can have retired.
+        """
+        self._mshr_retire(now)
+        pending_at = self.pending_at
+        completion = pending_at.get(line)
+        if completion is not None:
+            self.c_mshr_coalesced.value += 1
+            return ((completion if completion > now else now),
+                    self.pending_lvl[line])
+        issue = now
+        if pending_at:
+            # 2-D ordering: perpendicular outstanding fills of the
+            # same tile hold this one back.
+            perp_key = (line >> 3) ^ 1
+            if self.pending_tiles.get(perp_key):
+                c_blocks = self.c_ordering_blocks
+                for other, at in pending_at.items():
+                    if other >> 3 == perp_key:
+                        if at > issue:
+                            issue = at
+                        c_blocks.value += 1
+                if issue > now:
+                    self._mshr_retire(issue)
+            c_stalls = self.c_full_stalls
+            while len(pending_at) >= self.mshr_capacity:
+                stall_until = min(pending_at.values())
+                if stall_until > issue:
+                    issue = stall_until
+                c_stalls.value += 1
+                self._mshr_retire(stall_until)
+        completion, level = self.lower.fetch_line(line, issue, width)
+        self._mshr_insert(line, completion, level, issue)
+        return completion, level
+
+    def _fill_block_line(self, line: int, now: int, width):
+        """``_fill_line_into_block``: allocate/touch, fetch, mark."""
+        tile = line >> 4
+        slot = self.slot_of.get(tile)
+        if slot is None:
+            slot = self._allocate_slot(tile, now)
+        else:
+            self._touch(slot)
+        completion, level = self._fetch_below(line, now, width)
+        # Filling writes the crosspoint array; asymmetric technologies
+        # pay their write latency here.
+        completion += self.write_extra
+        self.present[slot] |= 1 << (line & 15)
+        ready = completion + self.data_latency
+        if ready > now:
+            self.ready_at[line] = ready
+        if not self.sparse:
+            self._fill_whole_block(slot, tile, (line >> 3) & 1,
+                                   completion, line & 7)
+        return completion, level
+
+    def _fill_whole_block(self, slot: int, tile: int, orient_bit: int,
+                          now: int, skip_index: int) -> None:
+        """Dense fill: stream the remaining lines behind the first."""
+        base_line = (tile << 4) | (orient_bit << 3)
+        horizon = now
+        c_dense = self.c_dense_fill_lines
+        for k in range(LINES_PER_TILE):
+            if k == skip_index:
+                continue
+            horizon, _ = self._fetch_below(base_line | k, horizon,
+                                           _VECTOR)
+            c_dense.value += 1
+        self.present[slot] = 0xFFFF
+
+    def _allocate_slot(self, tile: int, now: int) -> int:
+        """Victim scan + insert (``_allocate_block`` mirror)."""
+        base = (tile % self.num_sets) * self.assoc
+        meta = self.meta
+        free = base
+        best = meta[base]
+        for slot in range(base + 1, base + self.assoc):
+            m = meta[slot]
+            if m < best:
+                best = m
+                free = slot
+        if best & 1:
+            victim = self.tags[free]
+            del self.slot_of[victim]
+            self._evict_slot(free, victim, now)
+        self.tags[free] = tile
+        meta[free] = (self._stamp() << 16) | 1
+        self.present[free] = 0
+        self.dirty[free] = 0
+        self.slot_of[tile] = free
+        return free
+
+    def _evict_slot(self, slot: int, tile: int, now: int) -> None:
+        """Write back every dirty line of the victim block.
+
+        Never-filled lines have no dirty bits, so sparse blocks elide
+        their writeback automatically.  Rows drain before columns,
+        ascending in-tile index — the object path's exact order.
+        """
+        self.c_evictions.value += 1
+        dirty_word = self.dirty[slot]
+        if dirty_word:
+            writeback = self.lower.writeback_line
+            c_out = self.c_writebacks_out
+            base_line = tile << 4
+            for k in range(16):
+                if dirty_word & (1 << k):
+                    c_out.value += 1
+                    writeback(base_line | k, 0xFF, now)
+
+
 class KernelEngine:
     """A chain of flat-store kernel levels over the hierarchy's memory.
 
@@ -1067,20 +1371,36 @@ class KernelEngine:
         self.hierarchy = hierarchy
         self.levels: List[_FlatStore] = []
         for level in hierarchy.levels:
-            if level.config.logical_dims == 2:
+            cfg = level.config
+            if cfg.physical_dims == 2:
+                self.levels.append(_Kernel2P2L(level))
+            elif cfg.logical_dims == 2:
                 self.levels.append(_Kernel2L(level))
             else:
                 self.levels.append(_Kernel1L(level))
         for upper, lower in zip(self.levels, self.levels[1:]):
             upper.lower = lower
-            if isinstance(lower, _Kernel2L) or not lower.prefetch_enabled:
+            # A lower level's hit path may be served inline by the
+            # upper level's fill paths only when it has no side
+            # effects beyond touch/ready bookkeeping: _Kernel2P2L is
+            # excluded (cross-direction and partial-block branches),
+            # as is a prefetching _Kernel1L.
+            if isinstance(lower, _Kernel2L) or (
+                    isinstance(lower, _Kernel1L)
+                    and not lower.prefetch_enabled):
                 upper.lower_store = lower
                 upper.lower_slots_get = lower.slot_of.get
         self.levels[-1].lower = hierarchy.port
+        predictor = getattr(hierarchy.l1, "predictor", None)
+        self.l1_predictor = _FlatPredictor(predictor) \
+            if predictor is not None else None
 
     def replay(self, trace, cpu_config, cpu_group) -> int:
         """Drive a packed trace through the kernel; returns cycles."""
         if isinstance(self.levels[0], _Kernel2L):
+            if self.l1_predictor is not None:
+                return _replay_2l_dyn(self, trace, cpu_config,
+                                      cpu_group)
             return _replay_2l(self, trace, cpu_config, cpu_group)
         return _replay_1l(self, trace, cpu_config, cpu_group)
 
@@ -1274,37 +1594,29 @@ def _replay_2l_span(engine: KernelEngine, packed, start, stop,
                 fnow = now + vprobe_cost
                 if tile_get((line >> 3) ^ 1):
                     clean(line, fnow)
+                l1_retire(fnow)
                 completion = pending_get(line)
-                if completion is not None and completion > fnow:
+                if completion is not None:
                     n_coal += 1
                     level = pending_lvl[line]
                 else:
-                    if completion is not None:
-                        del pending_at[line]
-                        del pending_lvl[line]
-                        tkey = line >> 3
-                        cnt = pending_tiles[tkey] - 1
-                        if cnt:
-                            pending_tiles[tkey] = cnt
-                        else:
-                            del pending_tiles[tkey]
                     issue = fnow
                     if pending_at:
                         perp_key = (line >> 3) ^ 1
                         if ptiles_get(perp_key):
                             for other, at in pending_at.items():
-                                if other >> 3 == perp_key and at > fnow:
+                                if other >> 3 == perp_key:
                                     if at > issue:
                                         issue = at
                                     c_blocks.value += 1
-                        if len(pending_at) >= mshr_cap:
-                            l1_retire(fnow)
-                            while len(pending_at) >= mshr_cap:
-                                stall_until = min(pending_at.values())
-                                if stall_until > issue:
-                                    issue = stall_until
-                                c_stalls.value += 1
-                                l1_retire(stall_until)
+                            if issue > fnow:
+                                l1_retire(issue)
+                        while len(pending_at) >= mshr_cap:
+                            stall_until = min(pending_at.values())
+                            if stall_until > issue:
+                                issue = stall_until
+                            c_stalls.value += 1
+                            l1_retire(stall_until)
                     lslot = l2slots_get(line) \
                         if l2slots_get is not None else None
                     if lslot is not None:
@@ -1498,13 +1810,247 @@ def _replay_2l_span(engine: KernelEngine, packed, start, stop,
     state.n_tracked += n_tracked
 
 
-def _replay_1l(engine: KernelEngine, trace, cpu_config,
-               cpu_group) -> int:
-    """Fused replay over a conventional (1P1L) L1."""
+def _replay_2l_dyn(engine: KernelEngine, trace, cpu_config,
+                   cpu_group) -> int:
+    """Fused replay over a dynamic-orientation (1P2L) L1.
+
+    The object path consults the predictor on *every* scalar access —
+    hit or miss, before any probe — so the loop trains the flat
+    predictor mirror first, swaps the preferred/perpendicular lines
+    (and their in-line word offsets) when the prediction overrides the
+    static preference, then runs the static loop's fast paths against
+    the predicted orientation.  Vector requests never consult the
+    predictor and misses drop into the exact (still flat) tail
+    methods.  Demand accounting keeps each request's *static*
+    attributes: the object path counts demand before predicting.
+    """
     l1 = engine.levels[0]
+    observe = engine.l1_predictor.observe
+    packed, demand = _predecode_2l(trace.words)
+    refs = _predecode_refs(trace.words)
     now = 0
     stalled = 0
     window: List[int] = []
+    hist = [0] * len(LAT_HIST_KEYS)
+    window_size = cpu_config.mlp_window
+    issue_cost = cpu_config.cycles_per_op
+    cfg = l1.cfg
+    pipelined = cfg.hit_latency + 3 * cfg.tag_latency
+    hit_latency = l1.hit_latency
+    swrite_latency = 2 * l1.tag_latency + l1.data_write_latency
+    vwrite_latency = 9 * l1.tag_latency + l1.data_write_latency
+    hb_hit = hit_latency.bit_length()
+    hb_sw = swrite_latency.bit_length()
+    hb_vw = vwrite_latency.bit_length()
+    slots_get = l1.slot_of.get
+    meta_arr = l1.meta
+    ready_at = l1.ready_at
+    ready_get = ready_at.get
+    tile_get = l1.tile_count.get
+    age_cell = l1.age
+    age_limit = AGE_LIMIT
+    compact = l1._compact_ages
+    c_early = l1.c_early_hit_waits
+    scalar_read_tail = l1.scalar_read_tail
+    scalar_write_tail = l1.scalar_write_tail
+    vector_read_tail = l1.vector_read_tail
+    vector_write_tail = l1.vector_write_tail
+    lvl1 = l1.level_index
+    n_hits = n_misses = n_probes = n_tracked = 0
+    for p, ref in zip(packed, refs):
+        line = p >> 7
+        mode = (p >> 4) & 3  # is_write | width << 1
+        now += issue_cost
+        if mode == 2:  # vector read (static orientation throughout)
+            slot = slots_get(line)
+            if slot is not None:
+                n_probes += 1
+                n_hits += 1
+                stamp = age_cell[0]
+                if stamp >= age_limit:
+                    compact()
+                    stamp = age_cell[0]
+                age_cell[0] = stamp + 1
+                meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                    | (stamp << 16)
+                ready = ready_get(line)
+                if ready is None:
+                    hist[hb_hit] += 1
+                    continue
+                if ready <= now:
+                    del ready_at[line]
+                    hist[hb_hit] += 1
+                    continue
+                c_early.value += 1
+                latency = ready + hit_latency - now
+            else:
+                completion, level = vector_read_tail(line, now)
+                if level == lvl1:
+                    n_hits += 1
+                else:
+                    n_misses += 1
+                latency = completion - now
+            hist[latency.bit_length()] += 1
+            if latency > pipelined:
+                heappush(window, now + latency)
+                n_tracked += 1
+                while len(window) > window_size:
+                    earliest = heappop(window)
+                    if earliest > now:
+                        stalled += earliest - now
+                        now = earliest
+        elif mode == 3:  # vector write (posted)
+            slot = slots_get(line)
+            if slot is not None and tile_get((line >> 3) ^ 1) is None:
+                n_probes += 9
+                n_hits += 1
+                stamp = age_cell[0]
+                if stamp >= age_limit:
+                    compact()
+                    stamp = age_cell[0]
+                age_cell[0] = stamp + 1
+                meta_arr[slot] = (meta_arr[slot] & 0xFFFF) | 0xFF00 \
+                    | (stamp << 16)
+                hist[hb_vw] += 1
+                continue
+            completion, level = vector_write_tail(line, now)
+            if level == lvl1:
+                n_hits += 1
+            else:
+                n_misses += 1
+            hist[(completion - now).bit_length()] += 1
+        else:
+            # Scalar access: train + predict, possibly swapping the
+            # probe order.  ``line`` carries the static preference in
+            # its orientation bit; ``other`` is the intersecting line.
+            static_bit = (line >> 3) & 1
+            other = (line & -16) | (p & 15)
+            if static_bit:
+                predicted = observe(ref, other, line, 1)
+            else:
+                predicted = observe(ref, line, other, 0)
+            if predicted == static_bit:
+                pref = line
+                oth = other
+                pref_offset = p & 7
+                oth_offset = line & 7
+            else:
+                pref = other
+                oth = line
+                pref_offset = line & 7
+                oth_offset = p & 7
+            if mode == 0:  # scalar read
+                slot = slots_get(pref)
+                if slot is not None:
+                    n_probes += 1
+                    n_hits += 1
+                    stamp = age_cell[0]
+                    if stamp >= age_limit:
+                        compact()
+                        stamp = age_cell[0]
+                    age_cell[0] = stamp + 1
+                    meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                        | (stamp << 16)
+                    ready = ready_get(pref)
+                    if ready is None:
+                        hist[hb_hit] += 1
+                        continue
+                    if ready <= now:
+                        del ready_at[pref]
+                        hist[hb_hit] += 1
+                        continue
+                    c_early.value += 1
+                    latency = ready + hit_latency - now
+                else:
+                    completion, level = scalar_read_tail(pref, oth,
+                                                         now)
+                    if level == lvl1:
+                        n_hits += 1
+                    else:
+                        n_misses += 1
+                    latency = completion - now
+                hist[latency.bit_length()] += 1
+                if latency > pipelined:
+                    heappush(window, now + latency)
+                    n_tracked += 1
+                    while len(window) > window_size:
+                        earliest = heappop(window)
+                        if earliest > now:
+                            stalled += earliest - now
+                            now = earliest
+            else:  # scalar write (posted)
+                slot = slots_get(pref)
+                if slot is not None and slots_get(oth) is None:
+                    n_probes += 2
+                    n_hits += 1
+                    stamp = age_cell[0]
+                    if stamp >= age_limit:
+                        compact()
+                        stamp = age_cell[0]
+                    age_cell[0] = stamp + 1
+                    meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                        | (256 << pref_offset) | (stamp << 16)
+                    hist[hb_sw] += 1
+                    continue
+                completion, level = scalar_write_tail(
+                    pref, oth, 1 << pref_offset, 1 << oth_offset, now)
+                if level == lvl1:
+                    n_hits += 1
+                else:
+                    n_misses += 1
+                hist[(completion - now).bit_length()] += 1
+    while window:
+        earliest = heappop(window)
+        if earliest > now:
+            now = earliest
+    horizon = engine.hierarchy.finish(now)
+    if horizon > now:
+        now = horizon
+    _flush_shared(cpu_group, l1, len(trace), now, stalled, n_tracked,
+                  n_hits, n_misses, n_probes, demand, hist)
+    return now
+
+
+def _replay_1l(engine: KernelEngine, trace, cpu_config,
+               cpu_group) -> int:
+    """Fused replay over a conventional (1P1L) L1.
+
+    Predecodes, replays the whole trace as one span, then drains the
+    outstanding window, runs the hierarchy's posted-write horizon, and
+    folds the carried counters into the shared cells.
+    """
+    l1 = engine.levels[0]
+    packed, demand = _predecode_1l(trace.words)
+    state = _Span2L()
+    _replay_1l_span(engine, packed, 0, len(packed), cpu_config, state)
+    now = state.now
+    window = state.window
+    while window:
+        earliest = heappop(window)
+        if earliest > now:
+            now = earliest
+    horizon = engine.hierarchy.finish(now)
+    if horizon > now:
+        now = horizon
+    _flush_shared(cpu_group, l1, len(trace), now, state.stalled,
+                  state.n_tracked, state.n_hits, state.n_misses,
+                  state.n_probes, demand, state.hist)
+    return now
+
+
+def _replay_1l_span(engine: KernelEngine, packed, start, stop,
+                    cpu_config, state) -> None:
+    """Replay 1-D predecoded requests ``[start, stop)`` with ``state``.
+
+    The 1P1L counterpart of :func:`_replay_2l_span`: shared counter
+    cells are exact after every call, so the vector engine can
+    interleave scalar spans with bulk windows against the same engine.
+    """
+    l1 = engine.levels[0]
+    now = state.now
+    stalled = state.stalled
+    window = state.window
+    hist = state.hist
     window_size = cpu_config.mlp_window
     issue_cost = cpu_config.cycles_per_op
     cfg = l1.cfg
@@ -1513,7 +2059,6 @@ def _replay_1l(engine: KernelEngine, trace, cpu_config,
     write_latency = l1.write_latency
     hb_read = hit_latency.bit_length()
     hb_write = write_latency.bit_length()
-    hist = [0] * len(LAT_HIST_KEYS)
     slots_get = l1.slot_of.get
     meta_arr = l1.meta
     ready_at = l1.ready_at
@@ -1526,8 +2071,11 @@ def _replay_1l(engine: KernelEngine, trace, cpu_config,
     lvl1 = l1.level_index
     scalar, vector = _SCALAR, _VECTOR
     n_hits = n_misses = n_probes = n_tracked = 0
-    packed, demand = _predecode_1l(trace.words)
-    for p in packed:
+    if start == 0 and stop >= len(packed):
+        span = packed
+    else:
+        span = packed[start:stop]
+    for p in span:
         line = p >> 5
         mode = (p >> 3) & 3  # is_write | width << 1
         is_write = mode & 1
@@ -1581,13 +2129,9 @@ def _replay_1l(engine: KernelEngine, trace, cpu_config,
                 if earliest > now:
                     stalled += earliest - now
                     now = earliest
-    while window:
-        earliest = heappop(window)
-        if earliest > now:
-            now = earliest
-    horizon = engine.hierarchy.finish(now)
-    if horizon > now:
-        now = horizon
-    _flush_shared(cpu_group, l1, len(trace), now, stalled, n_tracked,
-                  n_hits, n_misses, n_probes, demand, hist)
-    return now
+    state.now = now
+    state.stalled = stalled
+    state.n_hits += n_hits
+    state.n_misses += n_misses
+    state.n_probes += n_probes
+    state.n_tracked += n_tracked

@@ -37,10 +37,19 @@ dominated traces degenerate to the fused kernel loop plus a small
 classification overhead; hit-dense traces retire windows thousands of
 requests long at numpy speed.
 
-Coverage: everything :func:`repro.core.kernels.supports` covers whose
-L1 is logically 2-D (the 1P2L family).  The 1P1L design keeps the
-scalar kernel — its loop is already a single dict probe per request
-and window classification would cost more than it saves.
+Coverage: everything :func:`repro.core.kernels.supports` covers except
+dynamic orientation (the predictor trains on every scalar access in
+order, so no window of them can retire out of band).  Logically 2-D
+L1s take the window machinery above; 1P1L L1s take a simpler variant
+(:func:`_replay_vector_1l`) whose classify is exact by construction —
+one probe, no perpendicular state.  Either way the levels *below* the
+L1 are reached only through the scalar tails, so a 2P2L last level
+rides along unchanged.
+
+Dispatch: :meth:`repro.core.cpu.TraceDrivenCpu.run` only routes traces
+of at least :data:`MIN_VECTOR_TRACE` requests here — below ~2 chunks
+the classification overhead outweighs the windows it finds, and the
+scalar kernel is faster.
 """
 
 from __future__ import annotations
@@ -86,18 +95,26 @@ SPAN_MIN = 16
 DEMOTE_AFTER = 4 * CHUNK
 DEMOTE_FRACTION = 4
 
+#: Traces shorter than this replay through the scalar kernel even when
+#: :func:`supports` says yes: below ~2 chunks the vector path's
+#: classification overhead lands in the 0.78-0.86x crossover zone.
+#: ``TraceDrivenCpu.run`` consults this when dispatching.
+MIN_VECTOR_TRACE = 2 * CHUNK
+
 
 def supports(hierarchy) -> bool:
     """True when the vector replay covers this hierarchy exactly.
 
     Uncovered-but-kernel-supported hierarchies replay through
-    ``run_kernel`` — same results, scalar speed.
+    ``run_kernel`` — same results, scalar speed.  Dynamic orientation
+    is kernel-only: the predictor trains on every scalar access in
+    program order, which no bulk window can honor.
     """
     if not VECTOR_ENABLED or _np is None:
         return False
     if not kernels.supports(hierarchy):
         return False
-    return hierarchy.l1.config.logical_dims == 2
+    return not hierarchy.l1.config.dynamic_orientation
 
 
 class _VectorDisabled:
@@ -162,15 +179,23 @@ def classify_chunk(engine, packed_words, start=0, stop=None):
     """The bulk-eligibility mask one chunk would be planned with.
 
     Debug/test hook: runs the classification pass of
-    :func:`_replay_vector` against the engine's *current* L1 state
-    (``now`` taken as the replay start) without executing anything.
+    :func:`_replay_vector` (or :func:`_replay_vector_1l` for a 1-D L1)
+    against the engine's *current* L1 state (``now`` taken as the
+    replay start) without executing anything.
     """
-    packed, _ = kernels._predecode_2l(packed_words)
+    l1 = engine.levels[0]
+    if isinstance(l1, kernels._Kernel2L):
+        packed, _ = kernels._predecode_2l(packed_words)
+        if stop is None:
+            stop = len(packed)
+        p_np = _np.asarray(packed[start:stop], dtype=_np.int64)
+        bulk, _, _, _ = _classify(engine, l1, p_np, now=0)
+        return bulk
+    packed, _ = kernels._predecode_1l(packed_words)
     if stop is None:
         stop = len(packed)
     p_np = _np.asarray(packed[start:stop], dtype=_np.int64)
-    l1 = engine.levels[0]
-    bulk, _, _, _ = _classify(engine, l1, p_np, now=0)
+    bulk, _, _ = _classify_1l(engine, l1, p_np, now=0)
     return bulk
 
 
@@ -239,10 +264,14 @@ class VectorEngine(kernels.KernelEngine):
     def __init__(self, hierarchy) -> None:
         super().__init__(hierarchy)
         l1 = self.levels[0]
-        if not isinstance(l1, kernels._Kernel2L):
+        if isinstance(l1, kernels._Kernel2P2L):
             raise kernels.SimulationError(
-                "VectorEngine requires a logically 2-D L1; "
-                "use KernelEngine for 1P1L designs")
+                "VectorEngine requires a physically 1-D L1; "
+                "use KernelEngine for 2P2L-L1 designs")
+        if self.l1_predictor is not None:
+            raise kernels.SimulationError(
+                "VectorEngine does not cover dynamic orientation; "
+                "use KernelEngine for predictor-enabled designs")
         l1.meta = array("Q", l1.meta)
         # Writable aliases: scalar-path writes through l1.tags/l1.meta
         # are immediately visible to the gathers and vice versa.
@@ -251,7 +280,9 @@ class VectorEngine(kernels.KernelEngine):
 
     def replay(self, trace, cpu_config, cpu_group) -> int:
         """Drive a packed trace through the vector loop; returns cycles."""
-        return _replay_vector(self, trace, cpu_config, cpu_group)
+        if isinstance(self.levels[0], kernels._Kernel2L):
+            return _replay_vector(self, trace, cpu_config, cpu_group)
+        return _replay_vector_1l(self, trace, cpu_config, cpu_group)
 
 
 def _replay_vector(engine: VectorEngine, trace, cpu_config,
@@ -654,6 +685,308 @@ def _replay_vector(engine: VectorEngine, trace, cpu_config,
             # A scalar step can grow the poisoned set, so the
             # remainder re-screens whenever it does (bounded: the set
             # can grow at most num_sets times per chunk).
+            fl = flagged.tolist()
+            dn = len(dirty_sets)
+            i = a
+            while i < b:
+                if fl[i - a]:
+                    step(start + i)
+                    i += 1
+                    if len(dirty_sets) != dn and i < b:
+                        dn = len(dirty_sets)
+                        fl[i - a:] = screen(i, b).tolist()
+                    continue
+                j = i + 1
+                while j < b and not fl[j - a]:
+                    j += 1
+                bulk_exec(i, j)
+                i = j
+
+    now = st.now
+    while window:
+        earliest = heappop(window)
+        if earliest > now:
+            now = earliest
+    horizon = engine.hierarchy.finish(now)
+    if horizon > now:
+        now = horizon
+    kernels._flush_shared(cpu_group, l1, len(trace), now, st.stalled,
+                          st.n_tracked, st.n_hits, st.n_misses,
+                          st.n_probes, demand, st.hist)
+    return now
+
+
+def _classify_1l(engine, l1, p_np, now):
+    """Vectorized plain-hit classification for a 1P1L chunk.
+
+    Exact by construction: a 1-D L1 has no perpendicular state, so a
+    request is bulk-eligible iff its line is resident and no fill for
+    it is still in flight.  Unlike the 2-D classify, *writes* are also
+    screened against live ``ready_at`` entries — the 1-D hit path
+    consults them for every mode.  Returns ``(bulk, slot, setn)``.
+    """
+    np = _np
+    tags_view = engine._tags_view
+    meta_view = engine._meta_view
+    assoc = l1.assoc
+    num_sets = l1.num_sets
+    line = p_np >> 5
+    # Dense row-line set mapping, as _Kernel1L._set_base.
+    setn = (((line >> 4) << 3) | (line & 7)) % num_sets
+    lane = np.arange(assoc, dtype=np.int64)
+    g = setn * assoc
+    g = g[:, None] + lane
+    hitm = (tags_view[g] == line[:, None]) & ((meta_view[g] & 1) == 1)
+    has_hit = hitm.any(axis=1)
+    slot = setn * assoc + np.argmax(hitm, axis=1)
+    bulk = has_hit
+    ready_at = l1.ready_at
+    if ready_at:
+        live = [k for k, v in ready_at.items() if v > now]
+        if live:
+            live_np = np.fromiter(live, dtype=np.int64, count=len(live))
+            bulk = bulk & ~np.isin(line, live_np)
+    return bulk, slot, setn
+
+
+def _replay_vector_1l(engine: VectorEngine, trace, cpu_config,
+                      cpu_group) -> int:
+    """Chunked window replay over a conventional (1P1L) L1.
+
+    The same plan/execute machinery as :func:`_replay_vector` with the
+    simpler classify of :func:`_classify_1l`: one probe per request,
+    no perpendicular duplicates, so a scalar miss poisons only the
+    missed line's own set and every mode is window-eligible.  Scalar
+    work routes through :func:`repro.core.kernels._replay_1l_span` /
+    a per-row mirror of its loop body.
+    """
+    np = _np
+    l1 = engine.levels[0]
+    meta_view = engine._meta_view
+    window_size = cpu_config.mlp_window
+    issue_cost = cpu_config.cycles_per_op
+    cfg = l1.cfg
+    pipelined = cfg.hit_latency + 3 * cfg.tag_latency
+    hit_latency = l1.hit_latency
+    write_latency = l1.write_latency
+    hb_read = hit_latency.bit_length()
+    hb_write = write_latency.bit_length()
+    slots_get = l1.slot_of.get
+    meta_arr = l1.meta
+    ready_at = l1.ready_at
+    ready_get = ready_at.get
+    age_cell = l1.age
+    age_limit = kernels.AGE_LIMIT
+    compact = l1._compact_ages
+    c_early = l1.c_early_hit_waits
+    get_line_miss = l1.get_line_miss
+    lvl1 = l1.level_index
+    num_sets = l1.num_sets
+    scalar, vector = kernels._SCALAR, kernels._VECTOR
+    span_replay = kernels._replay_1l_span
+
+    st = kernels._Span2L()
+    window = st.window
+    hist = st.hist
+
+    packed, demand = kernels._predecode_1l(trace.words)
+    total = len(packed)
+    p_all = np.asarray(packed, dtype=np.int64) if total \
+        else np.zeros(0, dtype=np.int64)
+
+    # Sets that scalar work may have restructured this chunk (a 1-D
+    # miss installs and evicts only within the missed line's set).
+    dirty_sets = set()
+
+    def step(idx: int) -> None:
+        """One ``_replay_1l_span`` iteration for request ``idx``."""
+        p = packed[idx]
+        line = p >> 5
+        mode = (p >> 3) & 3
+        is_write = mode & 1
+        now = st.now + issue_cost
+        st.now = now
+        st.n_probes += 1
+        slot = slots_get(line)
+        if slot is not None:
+            st.n_hits += 1
+            if is_write:
+                meta_arr[slot] |= 0xFF00 if mode == 3 \
+                    else 256 << (p & 7)
+                latency = write_latency
+                bucket = hb_write
+            else:
+                latency = hit_latency
+                bucket = hb_read
+            stamp = age_cell[0]
+            if stamp >= age_limit:
+                compact()
+                stamp = age_cell[0]
+            age_cell[0] = stamp + 1
+            meta_arr[slot] = (meta_arr[slot] & 0xFFFF) | (stamp << 16)
+            ready = ready_get(line)
+            if ready is None:
+                hist[bucket] += 1
+                return
+            if ready <= now:
+                del ready_at[line]
+                hist[bucket] += 1
+                return
+            c_early.value += 1
+            latency = ready + latency - now
+        else:
+            if is_write:
+                dirty = 0xFF if mode == 3 else 1 << (p & 7)
+            else:
+                dirty = 0
+            completion, level = get_line_miss(
+                line, now, vector if mode & 2 else scalar, dirty)
+            if level == lvl1:
+                st.n_hits += 1
+            else:
+                st.n_misses += 1
+            latency = completion - now
+            dirty_sets.add(
+                ((((line >> 4) << 3) | (line & 7)) % num_sets))
+        hist[latency.bit_length()] += 1
+        if latency > pipelined and not is_write:
+            heappush(window, now + latency)
+            st.n_tracked += 1
+            while len(window) > window_size:
+                earliest = heappop(window)
+                if earliest > now:
+                    st.stalled += earliest - now
+                    now = earliest
+            st.now = now
+
+    bulk_rows = [0]
+
+    for start in range(0, total, CHUNK):
+        if start >= DEMOTE_AFTER and \
+                bulk_rows[0] * DEMOTE_FRACTION < start:
+            span_replay(engine, packed, start, total, cpu_config, st)
+            break
+        stop = min(start + CHUNK, total)
+        if ready_at:
+            stale = [k for k, v in ready_at.items() if v <= st.now]
+            for k in stale:
+                del ready_at[k]
+        p_np = p_all[start:stop]
+        bulk, slot_np, setn_np = _classify_1l(engine, l1, p_np, st.now)
+        mode_np = (p_np >> 3) & 3
+        dirty_sets.clear()
+        dirty_cache: List = [None]
+        n = stop - start
+        if n > 1:
+            flips = np.flatnonzero(bulk[1:] != bulk[:-1]) + 1
+            bounds = [0] + flips.tolist() + [n]
+        else:
+            bounds = [0, n]
+        first_bulk = bool(bulk[0]) if n else False
+
+        def dirty_arr():
+            da = dirty_cache[0]
+            if da is None or da.size != len(dirty_sets):
+                da = np.fromiter(dirty_sets, dtype=np.int64,
+                                 count=len(dirty_sets))
+                dirty_cache[0] = da
+            return da
+
+        def screen(a: int, b: int):
+            """Poisoned-set mask for classified-hit rows [a, b)."""
+            return np.isin(setn_np[a:b], dirty_arr())
+
+        def poison_span(a: int, b: int) -> None:
+            dirty_sets.update(np.unique(setn_np[a:b]).tolist())
+
+        def bulk_exec(i: int, t: int) -> None:
+            """Retire guaranteed plain hits [i, t) in bulk."""
+            w = t - i
+            stamp0 = age_cell[0]
+            if stamp0 + w > age_limit:
+                for r in range(i, t):
+                    step(start + r)
+                return
+            if w <= SMALL_WINDOW:
+                for r in range(i, t):
+                    p = packed[start + r]
+                    slot = slots_get(p >> 5)
+                    if (p >> 3) & 1:
+                        meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                            | (0xFF00 if (p >> 3) & 2
+                               else 256 << (p & 7)) \
+                            | (age_cell[0] << 16)
+                        hist[hb_write] += 1
+                    else:
+                        meta_arr[slot] = (meta_arr[slot] & 0xFFFF) \
+                            | (age_cell[0] << 16)
+                        hist[hb_read] += 1
+                    age_cell[0] += 1
+                st.now += issue_cost * w
+                st.n_hits += w
+                st.n_probes += w
+                bulk_rows[0] += w
+                return
+            sl = slot_np[i:t]
+            age_cell[0] = stamp0 + w
+            order = np.argsort(sl, kind="stable")
+            ssl = sl[order]
+            seg = np.flatnonzero(ssl[1:] != ssl[:-1]) + 1
+            starts = np.concatenate(([0], seg))
+            usl = ssl[starts]
+            ends = np.concatenate((seg, [w])) - 1
+            ms = stamp0 + order[ends]
+            mw = mode_np[i:t]
+            wr = (mw & 1) == 1
+            nw = int(wr.sum()) if wr.any() else 0
+            if nw:
+                dirty_add = np.where(
+                    wr,
+                    np.where(mw == 3, np.int64(0xFF00),
+                             np.int64(256) << (p_np[i:t] & 7)),
+                    np.int64(0))
+                od = np.bitwise_or.reduceat(dirty_add[order], starts)
+                meta_view[usl] = (meta_view[usl] & 0xFFFF) | od \
+                    | (ms << 16)
+            else:
+                meta_view[usl] = (meta_view[usl] & 0xFFFF) \
+                    | (ms << 16)
+            st.now += issue_cost * w
+            st.n_hits += w
+            st.n_probes += w
+            hist[hb_read] += w - nw
+            hist[hb_write] += nw
+            bulk_rows[0] += w
+
+        for si in range(len(bounds) - 1):
+            a = bounds[si]
+            b = bounds[si + 1]
+            if len(dirty_sets) >= num_sets:
+                span_replay(engine, packed, start + a, stop,
+                            cpu_config, st)
+                break
+            if first_bulk == bool(si & 1):  # classified-miss span
+                if b - a >= SPAN_MIN:
+                    span_replay(engine, packed, start + a, start + b,
+                                cpu_config, st)
+                    poison_span(a, b)
+                else:
+                    for r in range(a, b):
+                        step(start + r)
+                continue
+            if not dirty_sets:
+                bulk_exec(a, b)
+                continue
+            flagged = screen(a, b)
+            cnt = int(flagged.sum())
+            if cnt == 0:
+                bulk_exec(a, b)
+                continue
+            if 2 * cnt >= b - a:
+                span_replay(engine, packed, start + a, start + b,
+                            cpu_config, st)
+                poison_span(a, b)
+                continue
             fl = flagged.tolist()
             dn = len(dirty_sets)
             i = a

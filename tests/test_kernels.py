@@ -1,18 +1,25 @@
-"""The structure-of-arrays cache kernels (PR-4 acceptance).
+"""The structure-of-arrays cache kernels (PR-4/PR-7 acceptance).
 
 Covers the fused flat-store replay path: coverage dispatch
 (:func:`repro.core.kernels.supports` and the ``kernel_disabled`` pin),
 three-way bit-identity between the object path, ``run_packed``, and
-``run_kernel``, the flat-store replacement edge cases (LRU age
-saturation and compaction, eviction tie-breaking, orientation-bit
-preservation across evictions in same-set mode), and the numpy /
-pure-Python predecode equivalence.
+``run_kernel`` — including the 2P2L family (dense and sparse block
+fill, duplicate-copy coherence) and dynamic orientation prediction —
+the flat-store replacement edge cases (LRU age saturation and
+compaction, eviction tie-breaking, orientation-bit preservation across
+evictions in same-set mode), the packed presence/dirty block-word
+round-trips, and the numpy / pure-Python predecode equivalence.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.cache.cache_2p2l import (
+    BlockState,
+    pack_block_word,
+    unpack_block_word,
+)
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.errors import SimulationError
 from repro.common.stats import StatRegistry
@@ -29,11 +36,20 @@ from repro.core.system import make_system
 from repro.sw.tracegen import generate_packed_trace, generate_trace
 from repro.workloads.registry import build_workload
 
-#: Designs the fused kernel covers (every level physically 1-D, static
-#: orientation, LRU) and the ones that must fall back to run_packed.
-COVERED = ("1P1L", "1P2L", "1P2L_SameSet")
-UNCOVERED = ("1P2L_Dyn", "2P2L", "2P2L_Dense", "2P2L_SlowWrite",
-             "2P2L_L1")
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as some
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the env
+    HAVE_HYPOTHESIS = False
+
+#: Designs the fused kernel covers (a physically 1-D L1, optionally a
+#: 2P2L last level and dynamic orientation, LRU) and the ones that must
+#: fall back to run_packed (a physically 2-D L1 needs per-request
+#: block-state bookkeeping the flat stores do not model at L1).
+COVERED = ("1P1L", "1P2L", "1P2L_SameSet", "1P2L_Dyn", "2P2L",
+           "2P2L_Dense", "2P2L_SlowWrite")
+UNCOVERED = ("2P2L_L1",)
 
 
 def _hierarchy(design, replacement="lru"):
@@ -249,6 +265,189 @@ class TestReplacementEdgeCases:
             assert valid == len(store.slot_of)
         # The check is only meaningful if both orientations are live.
         assert l1_orients == {0, 1}
+
+
+def _word(r, c, tile=0):
+    """Byte address of tile cell (r, c) (see decoder.py)."""
+    return ((tile << 6) | (r << 3) | c) << 3
+
+
+def _scalar(addr, orientation, is_write=False, ref_id=0):
+    return Request(addr=addr, orientation=orientation,
+                   width=AccessWidth.SCALAR, is_write=is_write,
+                   ref_id=ref_id)
+
+
+class TestKernel2P2L:
+    """The 2P2L family on the kernel path (PR-7 tentpole)."""
+
+    def _three_way(self, design, reqs):
+        packed = PackedTrace.from_requests(reqs)
+        via_objects = run_trace(make_system(design, 1.0), list(reqs),
+                                name="t")
+        with vector.vector_disabled():
+            via_kernel = run_trace(make_system(design, 1.0), packed,
+                                   name="t")
+        via_vector = run_trace(make_system(design, 1.0), packed,
+                               name="t")
+        assert via_kernel.cycles == via_objects.cycles
+        assert via_kernel.stats.flat() == via_objects.stats.flat()
+        assert via_vector.cycles == via_objects.cycles
+        assert via_vector.stats.flat() == via_objects.stats.flat()
+        return via_objects.stats.flat()
+
+    def test_duplicate_coherence_counters(self, monkeypatch):
+        """Duplicate evictions and cleans stay bit-identical.
+
+        The trace forces both Fig. 9 transitions in the 1P2L levels
+        above the 2P2L last level: a scalar write to a word resident
+        in both orientations (Clean -> Invalid, ``duplicate_evictions``)
+        and a vector-read fill crossing a dirty perpendicular line
+        (Modified -> Clean, ``duplicate_cleans``).
+        """
+        monkeypatch.setattr(vector, "MIN_VECTOR_TRACE", 0)
+        R, C = Orientation.ROW, Orientation.COLUMN
+        reqs = [
+            _scalar(_word(0, 0), R),                  # row 0 resident
+            _scalar(_word(1, 0), C),                  # col 0 resident
+            _scalar(_word(0, 0), R, is_write=True),   # dup eviction
+            _scalar(_word(2, 1), C, is_write=True),   # dirty col 1
+            _row_vector(0, 2),                        # fill cleans it
+        ]
+        flat = self._three_way("2P2L", reqs)
+        assert flat["cache.L1.duplicate_evictions"] == 1
+        assert flat["cache.L1.duplicate_cleans"] == 1
+
+    @pytest.mark.parametrize("design,key", [
+        ("2P2L", "partial_block_hits"),
+        ("2P2L_Dense", "dense_fill_lines"),
+    ])
+    def test_fill_mode_counters_exercised(self, design, key):
+        """Sparse fills take partial-block hits; dense fills stream
+        whole blocks — each mode's signature counter must fire (and
+        match the object path bit for bit) on a real workload."""
+        system = make_system(design, 1.0)
+        packed = generate_packed_trace(build_workload("sgemm", "small"),
+                                       system.logical_dims)
+        with vector.vector_disabled():
+            via_kernel = run_trace(make_system(design, 1.0), packed,
+                                   name="t")
+        with kernels.kernel_disabled():
+            reference = run_trace(make_system(design, 1.0), packed,
+                                  name="t")
+        assert via_kernel.stats.flat() == reference.stats.flat()
+        llc = system.levels[-1].name
+        assert via_kernel.stats.flat()[f"cache.{llc}.{key}"] > 0
+
+    def test_block_words_mirror_object_state(self):
+        """The kernel's packed presence/dirty words reproduce the
+        object path's per-block masks slot for slot after a replay."""
+        system = make_system("2P2L", 1.0)
+        stats = StatRegistry()
+        hierarchy = CacheHierarchy(system, stats)
+        packed = generate_packed_trace(build_workload("sgemm", "small"),
+                                       system.logical_dims)
+        engine = kernels.KernelEngine(hierarchy)
+        engine.replay(packed, system.cpu, stats.group("cpu"))
+        store = engine.levels[-1]
+        assert isinstance(store, kernels._Kernel2P2L)
+
+        ref_stats = StatRegistry()
+        ref_hierarchy = CacheHierarchy(make_system("2P2L", 1.0),
+                                       ref_stats)
+        with kernels.kernel_disabled():
+            cpu = TraceDrivenCpu(system.cpu, ref_hierarchy, ref_stats)
+            cpu.run(packed)
+        blocks = ref_hierarchy.levels[-1]._blocks
+        assert blocks, "the workload must leave resident blocks"
+        assert set(blocks) == set(store.slot_of)
+        for tile, state in blocks.items():
+            slot = store.slot_of[tile]
+            assert store.present[slot] == state.presence_word()
+            assert store.dirty[slot] == state.dirty_word()
+
+
+class TestDynamicOrientation:
+    """The flat orientation-predictor mirror (PR-7 tentpole)."""
+
+    def _two_way(self, reqs):
+        packed = PackedTrace.from_requests(reqs)
+        via_objects = run_trace(make_system("1P2L_Dyn", 1.0),
+                                list(reqs), name="t")
+        via_kernel = run_trace(make_system("1P2L_Dyn", 1.0), packed,
+                               name="t")
+        assert via_kernel.cycles == via_objects.cycles
+        assert via_kernel.stats.flat() == via_objects.stats.flat()
+        return via_objects.stats.flat()
+
+    def test_phase_relearning(self):
+        """A column-walk phase overrides the static row preference;
+        the following row-walk phase decays through the neutral band
+        (static fallbacks) and re-learns ROW — counters bit-identical
+        to the object predictor throughout."""
+        R = Orientation.ROW
+        reqs = [_scalar(_word(i % 8, 0), R, ref_id=7)
+                for i in range(24)]
+        reqs += [_scalar(_word(0, i % 8), R, ref_id=7)
+                 for i in range(24)]
+        flat = self._two_way(reqs)
+        assert flat["cache.L1.orientation.overrides"] > 0
+        assert flat["cache.L1.orientation.static_fallbacks"] > 0
+        assert flat["cache.L1.orientation.predictions"] > 0
+
+    def test_table_fifo_eviction(self):
+        """More live references than table entries: the flat mirror
+        must reproduce the object table's FIFO eviction order (and
+        the resulting re-learning churn) exactly."""
+        R = Orientation.ROW
+        reqs = []
+        for ref in range(100):
+            for i in range(2):
+                reqs.append(_scalar(_word(i, ref % 8, tile=ref % 4),
+                                    R, ref_id=ref))
+        flat = self._two_way(reqs)
+        assert flat["cache.L1.orientation.table_evictions"] > 0
+
+    def test_vector_rejects_dynamic_orientation(self):
+        """The predictor trains on every scalar access in order, so
+        the vector engine must refuse predictor-enabled designs."""
+        _, hierarchy = _hierarchy("1P2L_Dyn")
+        assert kernels.supports(hierarchy)
+        assert not vector.supports(hierarchy)
+        with pytest.raises(SimulationError, match="dynamic"):
+            vector.VectorEngine(hierarchy)
+
+
+class TestPackedBlockWords:
+    """Packed presence/dirty block words (cache_2p2l helpers)."""
+
+    def test_known_packing(self):
+        assert pack_block_word(0, 0) == 0
+        assert pack_block_word(0xFF, 0) == 0x00FF
+        assert pack_block_word(0, 0xFF) == 0xFF00
+        assert unpack_block_word(0xA55A) == (0x5A, 0xA5)
+
+    def test_bit_layout_matches_line_ids(self):
+        # Bit ``line & 15``: rows (orientation 0) in the low byte,
+        # columns (orientation 1) in the high byte.
+        word = pack_block_word(1 << 3, 1 << 5)
+        assert word & (1 << 3)        # row index 3
+        assert word & (1 << (8 + 5))  # column index 5
+
+    if HAVE_HYPOTHESIS:
+        @settings(max_examples=200, deadline=None)
+        @given(some.integers(0, 0xFF), some.integers(0, 0xFF))
+        def test_pack_round_trip(self, rows, cols):
+            word = pack_block_word(rows, cols)
+            assert 0 <= word < (1 << 16)
+            assert unpack_block_word(word) == (rows, cols)
+
+        @settings(max_examples=200, deadline=None)
+        @given(some.integers(0, 0xFFFF), some.integers(0, 0xFFFF))
+        def test_block_state_round_trip(self, presence, dirty):
+            state = BlockState.from_words(presence, dirty)
+            assert state.presence_word() == presence
+            assert state.dirty_word() == dirty
 
 
 class TestPredecode:

@@ -36,12 +36,13 @@ try:
 except ImportError:  # pragma: no cover - hypothesis ships with the env
     HAVE_HYPOTHESIS = False
 
-#: Designs the vector loop covers (kernel-covered with a logically 2-D
-#: L1) and kernel-covered designs that must stay on run_kernel.
-COVERED = ("1P2L", "1P2L_SameSet")
-KERNEL_ONLY = ("1P1L",)
-UNCOVERED = ("1P2L_Dyn", "2P2L", "2P2L_Dense", "2P2L_SlowWrite",
-             "2P2L_L1")
+#: Designs the vector loop covers (everything the kernel covers except
+#: dynamic orientation) and kernel-covered designs that must stay on
+#: run_kernel.
+COVERED = ("1P1L", "1P2L", "1P2L_SameSet", "2P2L", "2P2L_Dense",
+           "2P2L_SlowWrite")
+KERNEL_ONLY = ("1P2L_Dyn",)
+UNCOVERED = ("2P2L_L1",)
 
 
 def _hierarchy(design, replacement="lru"):
@@ -77,8 +78,9 @@ class TestSupports:
 
     @pytest.mark.parametrize("design", KERNEL_ONLY)
     def test_kernel_only_designs_stay_scalar(self, design):
-        # 1P1L is kernel-covered but logically 1-D: window
-        # classification would cost more than its dict-probe loop.
+        # Dynamic orientation is kernel-only: the predictor trains on
+        # every scalar access in program order, which no bulk window
+        # can honor.
         _, hierarchy = _hierarchy(design)
         assert kernels.supports(hierarchy)
         assert not vector.supports(hierarchy)
@@ -131,17 +133,28 @@ class TestSupports:
         del cm
         assert vector.VECTOR_ENABLED
 
-    def test_engine_rejects_1d_l1(self):
-        _, hierarchy = _hierarchy("1P1L")
-        with pytest.raises(SimulationError, match="2-D"):
+    def test_engine_rejects_2d_l1(self):
+        # A physically 2-D L1 has per-request block-state bookkeeping
+        # the bulk windows do not model.
+        _, hierarchy = _hierarchy("2P2L_L1")
+        with pytest.raises(SimulationError):
+            vector.VectorEngine(hierarchy)
+
+    def test_engine_rejects_dynamic_orientation(self):
+        _, hierarchy = _hierarchy("1P2L_Dyn")
+        with pytest.raises(SimulationError, match="dynamic"):
             vector.VectorEngine(hierarchy)
 
 
 class TestVectorParity:
     @pytest.mark.parametrize("design", COVERED)
     @pytest.mark.parametrize("workload", ["sobel", "htap1", "sgemm"])
-    def test_three_way_bit_identity(self, design, workload):
+    def test_three_way_bit_identity(self, design, workload,
+                                    monkeypatch):
         """Object path, run_kernel, and run_vector agree exactly."""
+        # Pin the dispatch floor so the small traces really exercise
+        # the vector loop instead of falling back to the kernel.
+        monkeypatch.setattr(vector, "MIN_VECTOR_TRACE", 0)
         system = make_system(design, 1.0)
         dims = system.logical_dims
         program = build_workload(workload, "small")
@@ -181,6 +194,7 @@ class TestVectorParity:
         per-row steps; shrinking AGE_LIMIT forces that constantly.
         """
         monkeypatch.setattr(kernels, "AGE_LIMIT", 300)
+        monkeypatch.setattr(vector, "MIN_VECTOR_TRACE", 0)
         system = make_system(design, 1.0)
         packed = generate_packed_trace(build_workload("sgemm", "small"),
                                        system.logical_dims)
@@ -239,6 +253,7 @@ class TestVectorParity:
 
     def test_cpu_dispatches_vector_for_covered_design(self, monkeypatch):
         """cpu.run prefers run_vector when vector.supports says so."""
+        monkeypatch.setattr(vector, "MIN_VECTOR_TRACE", 0)
         calls = []
         original = vector.VectorEngine.replay
 
@@ -255,6 +270,38 @@ class TestVectorParity:
                              CacheHierarchy(system, stats), stats)
         cpu.run(packed)
         assert calls == [len(packed)]
+
+    def test_cpu_keeps_short_traces_on_the_kernel(self, monkeypatch):
+        """Traces below MIN_VECTOR_TRACE replay through run_kernel.
+
+        Below ~2 classification chunks the vector path's planning
+        overhead outweighs the windows it finds; the dispatch floor
+        keeps those on the scalar kernel.  Results are identical
+        either way, so the check observes the engine choice directly.
+        """
+        engines = []
+        for cls in (vector.VectorEngine, kernels.KernelEngine):
+            original = cls.replay
+
+            def counting(self, trace, cpu_config, cpu_group,
+                         _orig=original):
+                engines.append(type(self))
+                return _orig(self, trace, cpu_config, cpu_group)
+
+            monkeypatch.setattr(cls, "replay", counting)
+
+        def run(n):
+            del engines[:]
+            system = make_system("1P2L", 1.0)
+            stats = StatRegistry()
+            cpu = TraceDrivenCpu(system.cpu,
+                                 CacheHierarchy(system, stats), stats)
+            cpu.run(_hot_trace(n))
+            return engines[0]
+
+        assert run(vector.MIN_VECTOR_TRACE - 1) \
+            is kernels.KernelEngine
+        assert run(vector.MIN_VECTOR_TRACE) is vector.VectorEngine
 
 
 class TestWindowSpans:
@@ -296,16 +343,18 @@ class TestWindowSpans:
 
 
 class TestClassify:
-    def test_cold_cache_classifies_nothing(self):
-        _, hierarchy = _hierarchy("1P2L")
+    @pytest.mark.parametrize("design", ["1P2L", "1P1L"])
+    def test_cold_cache_classifies_nothing(self, design):
+        _, hierarchy = _hierarchy(design)
         engine = vector.VectorEngine(hierarchy)
         packed = _hot_trace(64)
         bulk = vector.classify_chunk(engine, packed.words)
         assert len(bulk) == 64
         assert not bulk.any()
 
-    def test_warm_cache_classifies_hits(self):
-        system, hierarchy = _hierarchy("1P2L")
+    @pytest.mark.parametrize("design", ["1P2L", "1P1L"])
+    def test_warm_cache_classifies_hits(self, design):
+        system, hierarchy = _hierarchy(design)
         engine = vector.VectorEngine(hierarchy)
         packed = _hot_trace(64)
         registry = StatRegistry()
