@@ -9,10 +9,16 @@ Compares the throughput metrics (``*_requests_per_sec``) of a freshly
 measured artifact against the committed baseline.  A metric more than
 ``FAIL_THRESHOLD`` below its baseline fails the build; anything below
 baseline but within the threshold prints a soft warning (CI runners
-are shared and noisy — a hard gate at parity would flap).  Metrics new
-to the current artifact are reported informationally; metrics present
-in the baseline but missing from the current run fail, since that
-means a bench silently stopped running.
+are shared and noisy — a hard gate at parity would flap).  Latency
+metrics (``service_chaos_p*_ms``, lower is better) gate the other
+direction with a loose ``LATENCY_FAIL_FACTOR``.  Metrics new to the
+current artifact are reported informationally; metrics present in the
+baseline but missing from the current run fail, since that means a
+bench silently stopped running.
+
+Works for both artifacts: ``BENCH_engine.json`` (replay loops) and
+``BENCH_service.json`` (the chaos serving bench) — keys missing from
+*both* sides are simply skipped, so each job passes its own pair.
 
 On top of the per-metric baselines, one *ratio* rule is enforced
 within the current artifact alone: the vector window replay must
@@ -37,7 +43,19 @@ THROUGHPUT_KEYS = (
     "kernel_loop_requests_per_sec",
     "kernel_2p2l_requests_per_sec",
     "vector_loop_requests_per_sec",
+    "service_chaos_requests_per_sec",
 )
+
+#: Gated latency metrics: lower is better, milliseconds.  The factor
+#: is deliberately loose (these are end-to-end service latencies under
+#: injected faults on shared CI runners); the gate exists to catch a
+#: tail-latency blowup like an un-reclaimed coalescing lease, not a
+#: noisy-neighbour wobble.
+LATENCY_KEYS = (
+    "service_chaos_p50_ms",
+    "service_chaos_p99_ms",
+)
+LATENCY_FAIL_FACTOR = 4.0
 
 #: The vector replay must clear this multiple of the fused kernel
 #: loop within one artifact (same host, same session).
@@ -87,6 +105,30 @@ def check(baseline, current):
         else:
             print(f"  ok     {key}: {curr:,.0f} req/s "
                   f"(baseline {base:,.0f}, {(ratio - 1) * 100:+.1f}%)")
+    for key in LATENCY_KEYS:
+        base = baseline.get(key)
+        curr = current.get(key)
+        if not isinstance(base, (int, float)) or base <= 0:
+            if isinstance(curr, (int, float)):
+                print(f"  new    {key}: {curr:,.0f} ms (no baseline)")
+            continue
+        if not isinstance(curr, (int, float)):
+            failures.append(f"{key}: present in baseline "
+                            f"({base:,.0f} ms) but missing from the "
+                            f"current artifact")
+            continue
+        ratio = curr / base
+        if ratio > LATENCY_FAIL_FACTOR:
+            failures.append(f"{key}: {curr:,.0f} ms is {ratio:.1f}x "
+                            f"the baseline {base:,.0f} ms (limit "
+                            f"{LATENCY_FAIL_FACTOR:.0f}x)")
+        elif ratio > 1.0:
+            print(f"  warn   {key}: {curr:,.0f} ms is {ratio:.2f}x "
+                  f"baseline {base:,.0f} ms (within the "
+                  f"{LATENCY_FAIL_FACTOR:.0f}x tolerance)")
+        else:
+            print(f"  ok     {key}: {curr:,.0f} ms "
+                  f"(baseline {base:,.0f} ms)")
     vec = current.get("vector_loop_requests_per_sec")
     ker = current.get("kernel_loop_requests_per_sec")
     if isinstance(vec, (int, float)) and isinstance(ker, (int, float)) \

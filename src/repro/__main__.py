@@ -186,22 +186,54 @@ def _cmd_journal(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from .experiments.plans import (
         runner_from_args,
         supervisor_from_args,
     )
     from .service.batching import SimulationService
+    from .service.coalesce import ClaimBoard
     from .service.server import serve_main
-    runner = runner_from_args(args, verbose=False)
-    # The service owns SIGTERM/SIGINT (graceful drain); the supervisor
-    # must not install its own handlers from the dispatcher thread.
-    supervisor = supervisor_from_args(args, runner, suite="service",
-                                      handle_signals=False)
-    service = SimulationService(runner, supervisor,
-                                max_pending=args.max_pending,
-                                max_batch=args.max_batch,
-                                batch_window=args.batch_window)
-    return serve_main(service, host=args.host, port=args.port)
+
+    def build(index: int) -> SimulationService:
+        """One worker's service stack (index -1 = single process).
+
+        Called in the child after fork: the runner, supervisor, and
+        journal must never exist in the master, whose only job is
+        fork-and-supervise.  Each worker journals to its own suite
+        file (concurrent appends to one JSONL would interleave), and
+        multi-worker mode adds the cross-worker claim board over the
+        shared run cache.
+        """
+        runner = runner_from_args(args, verbose=False)
+        suite = "service" if index < 0 else f"service-w{index}"
+        # The service owns SIGTERM/SIGINT (graceful drain); the
+        # supervisor must not install handlers off the main thread.
+        supervisor = supervisor_from_args(args, runner, suite=suite,
+                                          handle_signals=False)
+        board = None
+        cache = runner.run_cache
+        if index >= 0 and cache is not None and not args.refresh:
+            board = ClaimBoard(cache.root,
+                               owner=f"w{index}-pid{os.getpid()}")
+        return SimulationService(runner, supervisor,
+                                 max_pending=args.max_pending,
+                                 max_batch=args.max_batch,
+                                 batch_window=args.batch_window,
+                                 claim_board=board)
+
+    if args.workers > 1:
+        from .experiments import faults
+        from .service.master import PreforkMaster
+        # Arm before forking so every worker inherits the same plan.
+        if args.inject_faults:
+            faults.arm(faults.parse_spec(args.inject_faults))
+        master = PreforkMaster(build, workers=args.workers,
+                               host=args.host, port=args.port,
+                               outdir=args.outdir)
+        return master.run()
+    return serve_main(build(-1), host=args.host, port=args.port)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -377,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wait after the first queued request so "
                               "concurrent requests share a batch "
                               "(default: 0.02)")
+    serve_p.add_argument("--workers", type=int, default=1,
+                         metavar="N",
+                         help="serve from N pre-forked worker "
+                              "processes supervised by a master "
+                              "(restart on crash/hang, shared result "
+                              "cache); 1 = single process "
+                              "(default: 1)")
     from .experiments.plans import add_engine_arguments
     add_engine_arguments(serve_p)
     serve_p.set_defaults(func=_cmd_serve)

@@ -117,6 +117,30 @@ class ServiceDraining(ServiceError):
         self.retry_after = retry_after
 
 
+class CircuitOpen(ServiceError):
+    """The client-side circuit breaker is open.
+
+    Raised (client side only — it never crosses the wire) when a
+    request would be attempted while the breaker's cooldown is still
+    running and the caller asked not to wait it out.  ``retry_after``
+    is the remaining cooldown.
+    """
+
+    def __init__(self, message: str = "circuit breaker open",
+                 retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WorkerRestartStorm(TransientRunError):
+    """A serving worker slot crash-looped past its restart budget.
+
+    Raised/recorded by the pre-fork master when one worker slot keeps
+    dying faster than its backoff window allows; the master responds by
+    degrading to fewer workers rather than hot-looping forks.
+    """
+
+
 class SweepInterrupted(ExperimentError):
     """A sweep was stopped by SIGINT/SIGTERM; journal was flushed.
 

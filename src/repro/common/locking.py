@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import random
 import time
 from typing import Callable, Iterator
 
@@ -36,7 +37,9 @@ except ImportError:  # pragma: no cover
 #: writes are small; anything holding the lock longer is wedged.
 DEFAULT_LOCK_TIMEOUT = 10.0
 
-#: Delay between non-blocking acquisition attempts, in seconds.
+#: Delay between non-blocking acquisition attempts, in seconds.  The
+#: actual sleep is jittered in ``[poll/2, poll]`` so N processes that
+#: all missed the same lock release do not re-collide in lockstep.
 DEFAULT_LOCK_POLL = 0.05
 
 
@@ -72,7 +75,7 @@ def file_lock(path: str,
                 if clock() >= deadline:
                     raise LockTimeout(
                         f"could not lock {path} within {timeout:.1f}s")
-                sleep(poll)
+                sleep(poll * (0.5 + 0.5 * random.random()))
         try:
             yield
         finally:

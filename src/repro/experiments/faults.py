@@ -27,6 +27,18 @@ Sites:
 * ``cache_corrupt`` — a freshly written run-cache or trace-store entry
   is truncated in place, modeling a torn write / bad disk.
 
+Service sites (fired inside ``repro serve`` workers, exercised by the
+chaos bench and supervised by the pre-fork master):
+
+* ``serve_worker_kill`` — the serving process ``os._exit``\\ s in the
+  middle of handling a request, modeling an OOM-killed worker; the
+  master restarts it and clients retry over a new connection.
+* ``serve_slow_request`` — one request is delayed ``slow_seconds``
+  before being handled, modeling a degraded worker (tail latency).
+* ``serve_cache_corrupt`` — an existing run-cache entry is truncated
+  just before a service read, modeling bit rot read under
+  concurrency; the quarantine path must count it once and re-simulate.
+
 The plan is *armed* process-globally (:func:`arm`); forked pool
 workers inherit the armed plan, and the supervisor passes the spec
 through its worker initializer for non-fork start methods.  The
@@ -49,14 +61,20 @@ from ..common.errors import ConfigError
 ENV_VAR = "REPRO_FAULTS"
 
 #: The injectable fault sites.
-SITES = ("worker_crash", "worker_hang", "cache_corrupt")
+SITES = ("worker_crash", "worker_hang", "cache_corrupt",
+         "serve_worker_kill", "serve_slow_request",
+         "serve_cache_corrupt")
 
 #: Exit status used by an injected worker crash (distinct from real
 #: failure codes so supervisor logs can attribute it).
 CRASH_EXIT_CODE = 41
 
+#: Exit status used by an injected serving-worker kill (distinct from
+#: CRASH_EXIT_CODE so the master's restart log can attribute it).
+SERVE_KILL_EXIT_CODE = 43
+
 #: Plan keys that are knobs rather than site rates.
-_KNOBS = ("seed", "hang_seconds")
+_KNOBS = ("seed", "hang_seconds", "slow_seconds")
 
 
 @dataclass(frozen=True)
@@ -66,6 +84,7 @@ class FaultPlan:
     rates: Mapping[str, float] = field(default_factory=dict)
     seed: int = 0
     hang_seconds: float = 30.0
+    slow_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         for site, rate in self.rates.items():
@@ -105,6 +124,8 @@ class FaultPlan:
         parts.append(f"seed:{self.seed}")
         if self.hang_seconds != FaultPlan.hang_seconds:  # type: ignore[comparison-overlap]
             parts.append(f"hang_seconds:{self.hang_seconds:g}")
+        if self.slow_seconds != FaultPlan.slow_seconds:  # type: ignore[comparison-overlap]
+            parts.append(f"slow_seconds:{self.slow_seconds:g}")
         return ",".join(parts)
 
 
@@ -117,6 +138,7 @@ def parse_spec(spec: str) -> FaultPlan:
     rates: Dict[str, float] = {}
     seed = 0
     hang_seconds = FaultPlan.hang_seconds
+    slow_seconds = FaultPlan.slow_seconds
     for part in spec.split(","):
         part = part.strip()
         if not part:
@@ -132,13 +154,16 @@ def parse_spec(spec: str) -> FaultPlan:
                 seed = int(value)
             elif name == "hang_seconds":
                 hang_seconds = float(value)
+            elif name == "slow_seconds":
+                slow_seconds = float(value)
             else:
                 rates[name] = float(value)
         except ValueError as exc:
             raise ConfigError(
                 f"bad value in fault spec entry {part!r}") from exc
     return FaultPlan(rates=rates, seed=seed,
-                     hang_seconds=hang_seconds)
+                     hang_seconds=hang_seconds,
+                     slow_seconds=slow_seconds)
 
 
 # -- process-global arming ----------------------------------------------------
@@ -212,6 +237,11 @@ def maybe_corrupt_file(path: str, token: str,
     plan = active_plan() if plan is None else plan
     if plan is None or not plan.should_fire("cache_corrupt", token):
         return False
+    return _truncate_in_place(path)
+
+
+def _truncate_in_place(path: str) -> bool:
+    """Halve a file in place (minimum one byte); False if unreadable."""
     try:
         size = os.path.getsize(path)
         with open(path, "r+b") as handle:
@@ -219,3 +249,51 @@ def maybe_corrupt_file(path: str, token: str,
     except OSError:
         return False
     return True
+
+
+# -- service fault sites ------------------------------------------------------
+
+
+def maybe_kill_server(token: str,
+                      plan: Optional[FaultPlan] = None) -> None:
+    """``serve_worker_kill`` site: exit the serving process abruptly.
+
+    Fired mid-request by a ``repro serve`` worker; ``os._exit`` models
+    an OOM kill, so in-flight connections die without a response and
+    the pre-fork master sees a nonzero exit.
+    """
+    plan = active_plan() if plan is None else plan
+    if plan is not None and plan.should_fire("serve_worker_kill",
+                                             token):
+        os._exit(SERVE_KILL_EXIT_CODE)
+
+
+def maybe_slow_request(token: str,
+                       plan: Optional[FaultPlan] = None) -> float:
+    """``serve_slow_request`` site: seconds to delay one request.
+
+    Returns 0.0 when the site does not fire; the (async) server awaits
+    the returned delay so a slow request stalls only its own
+    connection, never the event loop.
+    """
+    plan = active_plan() if plan is None else plan
+    if plan is None or not plan.should_fire("serve_slow_request",
+                                            token):
+        return 0.0
+    return plan.slow_seconds
+
+
+def maybe_corrupt_served_entry(path: str, token: str,
+                               plan: Optional[FaultPlan] = None) -> bool:
+    """``serve_cache_corrupt`` site: truncate an *existing* cache entry.
+
+    Unlike ``cache_corrupt`` (which tears a fresh write) this fires
+    just before a service-side cache read, modeling bit rot discovered
+    under concurrency: the next load must quarantine the entry exactly
+    once and fall through to a fresh simulation.
+    """
+    plan = active_plan() if plan is None else plan
+    if plan is None or not plan.should_fire("serve_cache_corrupt",
+                                            token):
+        return False
+    return _truncate_in_place(path)

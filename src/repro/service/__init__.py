@@ -10,24 +10,44 @@ coalesces identical in-flight requests, batches distinct ones into
 the existing :class:`~repro.experiments.supervisor.Supervisor` so the
 retry/timeout/fault taxonomy and the journal carry over unchanged.
 
+``repro serve --workers N`` scales that single process into a
+supervised fleet: a pre-fork master binds the socket once, forks N
+workers that accept from the shared fd, restarts crashed or hung
+workers with capped backoff, and degrades gracefully on crash loops.
+Workers coalesce duplicate requests *across processes* through leased
+claims on the shared run cache.
+
 Modules:
 
 * :mod:`.protocol` — request/response JSON schema and validation;
 * :mod:`.batching` — admission control, coalescing, batch dispatch;
+* :mod:`.coalesce` — cross-worker claim board over the run cache;
 * :mod:`.metrics` — Prometheus-text-format metric primitives;
 * :mod:`.server` — the asyncio HTTP server (``repro serve``);
-* :mod:`.client` — sync + async client library with retry/backoff.
+* :mod:`.master` — pre-fork master and worker supervision;
+* :mod:`.client` — sync + async clients with retry/backoff and a
+  circuit breaker.
 """
 
 from .batching import SimulationService
-from .client import AsyncServiceClient, RetryConfig, ServiceClient
+from .client import (
+    AsyncServiceClient,
+    CircuitBreaker,
+    RetryConfig,
+    ServiceClient,
+)
+from .coalesce import ClaimBoard
+from .master import PreforkMaster
 from .metrics import MetricsRegistry
 from .protocol import parse_request, result_payload
 from .server import ServiceServer, serve_main
 
 __all__ = [
     "AsyncServiceClient",
+    "CircuitBreaker",
+    "ClaimBoard",
     "MetricsRegistry",
+    "PreforkMaster",
     "RetryConfig",
     "ServiceClient",
     "ServiceServer",

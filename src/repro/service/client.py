@@ -14,6 +14,23 @@ permanently failed simulations would fail identically again.  They
 surface as :class:`ValidationFailed` / :class:`SimulationFailed`; a
 retry budget exhausted on backpressure surfaces as the last
 :class:`AdmissionRejected` / :class:`ServiceDraining`.
+
+Computed backoff delays are *full-jitter*: the sleep is drawn
+uniformly from ``[0, ceiling)`` where the ceiling grows exponentially
+per attempt.  Without jitter, N clients rejected by the same full
+queue all retry at the same instant and re-collide forever; with full
+jitter their retries spread over the whole window.  A server-provided
+``Retry-After`` is used verbatim (capped, no jitter) — it reflects the
+actual queue and already differs per response.
+
+Both clients also accept a :class:`CircuitBreaker`.  After
+``threshold`` consecutive connection-level or 5xx failures the breaker
+*opens* and requests fail fast locally (no socket traffic) for a
+cooldown; then a single *half-open* probe is let through — success
+closes the breaker, failure re-opens it with a doubled (capped)
+cooldown.  This keeps a thundering herd of retrying clients off a
+worker fleet that is mid-restart, which is exactly when it can least
+afford accept-queue pressure.
 """
 
 from __future__ import annotations
@@ -21,12 +38,14 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..common.errors import (
     AdmissionRejected,
+    CircuitOpen,
     ServiceDraining,
     ServiceError,
     SimulationFailed,
@@ -42,14 +61,115 @@ class RetryConfig:
     backoff_base: float = 0.1
     backoff_factor: float = 2.0
     backoff_cap: float = 10.0
+    #: Draw computed delays uniformly from ``[0, ceiling)`` (full
+    #: jitter).  Disable only in tests that assert exact delays.
+    jitter: bool = True
 
     def delay(self, attempt: int,
-              retry_after: Optional[float] = None) -> float:
-        """Seconds to sleep before retry ``attempt`` (0-based)."""
+              retry_after: Optional[float] = None,
+              rng: Callable[[], float] = random.random) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based).
+
+        A positive ``retry_after`` (the server's own estimate) wins
+        over the computed ceiling and is never jittered; ``rng`` is
+        injectable for deterministic tests.
+        """
         if retry_after is not None and retry_after > 0:
             return min(float(retry_after), self.backoff_cap)
-        return min(self.backoff_base * self.backoff_factor ** attempt,
-                   self.backoff_cap)
+        ceiling = min(
+            self.backoff_base * self.backoff_factor ** attempt,
+            self.backoff_cap)
+        if not self.jitter:
+            return ceiling
+        return ceiling * rng()
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed/open/half-open).
+
+    State machine:
+
+    * **closed** — requests flow; ``threshold`` *consecutive* failures
+      (any success resets the streak) trip it open.
+    * **open** — :meth:`allow` returns False until ``cooldown``
+      elapses; callers should fail fast or sleep :meth:`retry_after`.
+    * **half-open** — after the cooldown exactly one probe is let
+      through.  Success closes the breaker and resets the cooldown;
+      failure re-opens it with the cooldown doubled up to
+      ``cooldown_cap``.
+
+    Failures are connection-level errors and 5xx responses.  Any
+    response the server actually produced below 500 — including a 429
+    rejection — counts as success: backpressure means the service is
+    alive, which is the one thing a breaker measures.
+
+    The breaker is not thread-safe; share one per client, not across
+    threads.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 1.0,
+                 cooldown_cap: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self._threshold = threshold
+        self._base_cooldown = float(cooldown)
+        self._cooldown = float(cooldown)
+        self._cooldown_cap = float(cooldown_cap)
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: Times the breaker tripped open (monitoring hook).
+        self.opened_total = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self._cooldown:
+            return "half-open"
+        return "open"
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe is allowed."""
+        if self._opened_at is None:
+            return 0.0
+        remaining = self._cooldown - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
+    def allow(self) -> bool:
+        """May a request be sent now?  Reserves the half-open probe."""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "open":
+            return False
+        if self._probing:
+            return False  # another in-flight request holds the probe
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+        self._cooldown = self._base_cooldown
+
+    def record_failure(self) -> None:
+        if self._probing or self.state == "half-open":
+            # Failed probe: re-open with a doubled (capped) cooldown.
+            self._probing = False
+            self._cooldown = min(self._cooldown * 2.0,
+                                 self._cooldown_cap)
+            self._opened_at = self._clock()
+            self.opened_total += 1
+            return
+        self._failures += 1
+        if self._opened_at is None \
+                and self._failures >= self._threshold:
+            self._opened_at = self._clock()
+            self.opened_total += 1
 
 
 def _error_for(status: int, payload: Any,
@@ -89,11 +209,13 @@ class ServiceClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8371,
                  retry: Optional[RetryConfig] = None,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self._host = host
         self._port = port
         self._retry = retry or RetryConfig()
         self._timeout = timeout
+        self._breaker = breaker
         self._conn: Optional[http.client.HTTPConnection] = None
 
     def close(self) -> None:
@@ -137,16 +259,30 @@ class ServiceClient:
                 body: Any = None, raw: bool = False) -> Any:
         last_error: Optional[Exception] = None
         for attempt in range(self._retry.max_retries + 1):
+            if self._breaker is not None \
+                    and not self._breaker.allow():
+                pause = self._breaker.retry_after()
+                last_error = CircuitOpen(retry_after=max(pause, 0.05))
+                if attempt < self._retry.max_retries:
+                    time.sleep(max(pause, 0.05))
+                continue
             try:
                 status, headers, payload = self._once(
                     method, path, body, raw)
             except (ConnectionError, OSError,
                     http.client.HTTPException) as exc:
                 self.close()
+                if self._breaker is not None:
+                    self._breaker.record_failure()
                 last_error = exc
                 if attempt < self._retry.max_retries:
                     time.sleep(self._retry.delay(attempt))
                 continue
+            if self._breaker is not None:
+                if status >= 500:
+                    self._breaker.record_failure()
+                else:
+                    self._breaker.record_success()
             if status == 200:
                 return payload
             error = _error_for(status, payload, headers)
@@ -191,10 +327,12 @@ class AsyncServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8371,
-                 retry: Optional[RetryConfig] = None) -> None:
+                 retry: Optional[RetryConfig] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self._host = host
         self._port = port
         self._retry = retry or RetryConfig()
+        self._breaker = breaker
 
     async def simulate(self, design: str, workload: str,
                        **fields: Any) -> Dict[str, Any]:
@@ -215,15 +353,29 @@ class AsyncServiceClient:
                       body: Any = None, raw: bool = False) -> Any:
         last_error: Optional[Exception] = None
         for attempt in range(self._retry.max_retries + 1):
+            if self._breaker is not None \
+                    and not self._breaker.allow():
+                pause = self._breaker.retry_after()
+                last_error = CircuitOpen(retry_after=max(pause, 0.05))
+                if attempt < self._retry.max_retries:
+                    await asyncio.sleep(max(pause, 0.05))
+                continue
             try:
                 status, headers, payload = await self._once(
                     method, path, body, raw)
             except (ConnectionError, OSError,
                     asyncio.IncompleteReadError) as exc:
                 last_error = exc
+                if self._breaker is not None:
+                    self._breaker.record_failure()
                 if attempt < self._retry.max_retries:
                     await asyncio.sleep(self._retry.delay(attempt))
                 continue
+            if self._breaker is not None:
+                if status >= 500:
+                    self._breaker.record_failure()
+                else:
+                    self._breaker.record_success()
             if status == 200:
                 return payload
             error = _error_for(status, payload, headers)

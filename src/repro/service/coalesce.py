@@ -1,0 +1,192 @@
+"""Cross-worker request coalescing over the shared run cache.
+
+One serving process already collapses identical in-flight requests
+onto a single future (:mod:`repro.service.batching`).  With a pre-fork
+master running N workers that guarantee breaks: the kernel load-
+balances accepted connections, so two identical requests routinely
+land in two different processes and would both simulate.
+
+:class:`ClaimBoard` restores the collapse with the only channel the
+workers already share — the fcntl-locked ``.runcache`` directory.
+Before a worker enqueues a simulation it *claims* the point: a claim
+file named by the run's cache key under ``<runcache>/.inflight/``,
+created under a shard lock so exactly one worker wins.  Shards are
+selected by RunKey cache-key hash, so claims for different keys almost
+never contend on the same lock while claims for the *same* key always
+serialize.  A worker that loses the claim polls the shared cache for
+the winner's result instead of re-simulating.
+
+Claims are leases, not locks: a claim file carries its owner's pid
+and is considered stale once the pid is gone **or** the file has been
+untouched for ``ttl`` seconds, so a worker killed mid-simulation (the
+``serve_worker_kill`` fault, an OOM, a SIGKILL) releases its points
+within one waiter poll — the pid check catches death instantly; the
+TTL is the backstop for a worker that is alive but wedged.
+Everything here is best-effort by construction: on any coordination
+failure (lock timeout, unreadable claim) the caller simulates
+locally, trading duplicate work for correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Optional
+
+from ..common.errors import LockTimeout
+from ..common.locking import file_lock
+
+#: Directory (under the run-cache root) holding in-flight claims.
+CLAIM_DIRNAME = ".inflight"
+
+#: Default number of claim-lock shards.  Claims for distinct keys hash
+#: to distinct locks with high probability; same-key claims collide by
+#: construction.
+DEFAULT_SHARDS = 16
+
+#: Default lease on a claim, in seconds.  Longer than any healthy
+#: simulate-and-store cycle for the served workloads; short enough
+#: that a killed worker's orphan claim delays a waiter, not a user.
+DEFAULT_TTL = 30.0
+
+#: Bound on waiting for a shard lock; claims are an optimization, so
+#: a held lock means "skip coordination", never "block the request".
+CLAIM_LOCK_TIMEOUT = 2.0
+
+
+def shard_of(ck: str, shards: int = DEFAULT_SHARDS) -> int:
+    """The claim-lock shard for one run cache key."""
+    digest = hashlib.sha256(ck.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % shards
+
+
+class ClaimBoard:
+    """Sharded, leased in-flight claims on a shared cache directory.
+
+    Args:
+        root: the run-cache directory shared by all workers.
+        shards: number of claim-lock shards (RunKey-hash selected).
+        ttl: seconds a claim stays valid without a refresh.
+        owner: identity recorded in claim files (defaults to the pid).
+        clock: injectable time source for tests.
+    """
+
+    def __init__(self, root: str, shards: int = DEFAULT_SHARDS,
+                 ttl: float = DEFAULT_TTL,
+                 owner: Optional[str] = None,
+                 clock=time.time) -> None:
+        self._root = root
+        self._dir = os.path.join(root, CLAIM_DIRNAME)
+        self._shards = max(1, int(shards))
+        self._ttl = float(ttl)
+        self._owner = owner or f"pid-{os.getpid()}"
+        self._clock = clock
+        #: Claims this board won (and must release).
+        self.granted = 0
+        #: Claims denied because another worker holds a fresh lease.
+        self.denied = 0
+        #: Stale leases taken over from a dead/wedged owner.
+        self.takeovers = 0
+        #: Shard-lock timeouts (coordination skipped, simulated
+        #: locally).
+        self.lock_timeouts = 0
+
+    @property
+    def ttl(self) -> float:
+        return self._ttl
+
+    def _claim_path(self, ck: str) -> str:
+        return os.path.join(self._dir, ck + ".claim")
+
+    def _lock_path(self, ck: str) -> str:
+        return os.path.join(
+            self._dir, f".shard-{shard_of(ck, self._shards):02d}.lock")
+
+    def _age(self, path: str) -> Optional[float]:
+        """Seconds since the claim was last refreshed; None if gone."""
+        try:
+            return max(0.0, self._clock() - os.path.getmtime(path))
+        except OSError:
+            return None
+
+    def _fresh(self, path: str) -> bool:
+        """Is the claim at ``path`` a live lease?
+
+        Fresh means recently touched *and* held by a pid that still
+        exists: a killed worker's claims must not stall waiters for
+        the whole TTL when one signal-0 probe settles it now.
+        """
+        age = self._age(path)
+        if age is None or age >= self._ttl:
+            return False
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                pid = int(json.load(handle).get("pid", 0))
+        except (OSError, ValueError, TypeError):
+            # Unreadable claim: fall back to the TTL alone.
+            return True
+        if pid <= 0:
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:
+            pass  # e.g. EPERM: the pid exists but isn't ours
+        return True
+
+    # -- the lease protocol --------------------------------------------------
+
+    def claim(self, ck: str) -> bool:
+        """Try to win the in-flight claim for ``ck``.
+
+        True means this worker owns the point and must simulate (and
+        later :meth:`release`); False means another worker holds a
+        fresh lease and this one should wait for the shared cache.
+        Any coordination failure degrades to True — simulating twice
+        is always safe, waiting on nobody is not.
+        """
+        path = self._claim_path(ck)
+        try:
+            os.makedirs(self._dir, exist_ok=True)
+            with file_lock(self._lock_path(ck),
+                           timeout=CLAIM_LOCK_TIMEOUT):
+                if self._fresh(path):
+                    self.denied += 1
+                    return False
+                if self._age(path) is not None:
+                    self.takeovers += 1
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump({"owner": self._owner,
+                               "pid": os.getpid(),
+                               "t": self._clock()}, handle)
+                os.replace(tmp, path)
+        except LockTimeout:
+            self.lock_timeouts += 1
+            return True
+        except OSError:
+            return True
+        self.granted += 1
+        return True
+
+    def refresh(self, ck: str) -> None:
+        """Extend the lease while the simulation is still running."""
+        try:
+            os.utime(self._claim_path(ck), None)
+        except OSError:
+            pass
+
+    def release(self, ck: str) -> None:
+        """Drop the claim (after the result reached the shared cache)."""
+        try:
+            os.remove(self._claim_path(ck))
+        except OSError:
+            pass
+
+    def claimed_elsewhere(self, ck: str) -> bool:
+        """True while another worker's lease on ``ck`` is fresh
+        (recently touched and its owner pid still alive)."""
+        return self._fresh(self._claim_path(ck))

@@ -20,6 +20,7 @@ pre-created cells, safe under the GIL for the service's two-thread
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..common.stats import LAT_HIST_KEYS, lat_bucket
@@ -198,3 +199,38 @@ class MetricsRegistry:
             for sample_name, label_text, value in metric.samples():
                 lines.append(f"{sample_name}{label_text} {_fmt(value)}")
         return "\n".join(lines) + "\n"
+
+
+def register_worker_gauges(registry: MetricsRegistry,
+                           state_path: str, index: int) -> None:
+    """Expose the pre-fork master's supervision state on a worker.
+
+    The master is not an HTTP server, so its restart/degradation
+    counters would otherwise be invisible to scrapers.  Instead it
+    writes an atomic JSON state file and every worker mirrors the
+    fleet-level fields as callback gauges — any worker's ``/metrics``
+    answers for the whole fleet.  A missing or torn state file reads
+    as zeros, never as an error.
+    """
+
+    def field(name: str) -> float:
+        try:
+            with open(state_path, "r", encoding="utf-8") as handle:
+                return float(json.load(handle).get(name, 0))
+        except (OSError, ValueError, TypeError):
+            return 0.0
+
+    registry.gauge("worker_index",
+                   "Index of this pre-fork serving worker.",
+                   fn=lambda: float(index))
+    registry.gauge("worker_restarts_total",
+                   "Worker restarts performed by the serving master.",
+                   fn=lambda: field("restarts_total"))
+    registry.gauge("workers_alive",
+                   "Serving workers currently alive under the master.",
+                   fn=lambda: field("alive"))
+    registry.gauge("workers_target",
+                   "Worker count the master is currently maintaining "
+                   "(drops below the requested count only after "
+                   "crash-loop degradation).",
+                   fn=lambda: field("target"))

@@ -6,7 +6,9 @@ hand, bodies are ``Content-Length``-delimited, and connections are
 kept alive until the peer closes or sends ``Connection: close``.  The
 surface is four routes:
 
-* ``GET /healthz`` — liveness plus queue/drain state (JSON);
+* ``GET /healthz`` — liveness plus queue/drain state (JSON); 200
+  while serving, 503 the moment a drain begins so probes and load
+  balancers stop routing to a worker that will refuse new work;
 * ``GET /metrics`` — the registry in Prometheus text format;
 * ``POST /simulate`` — one simulation request (see
   :mod:`repro.service.protocol`);
@@ -27,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import socket
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -37,6 +40,7 @@ from ..common.errors import (
     SimulationFailed,
     ValidationFailed,
 )
+from ..experiments import faults
 from .batching import SimulationService
 from .protocol import error_payload, parse_request, result_payload
 
@@ -79,10 +83,18 @@ class ServiceServer:
     """HTTP front end binding a :class:`SimulationService` to a port."""
 
     def __init__(self, service: SimulationService,
-                 host: str = "127.0.0.1", port: int = 8371) -> None:
+                 host: str = "127.0.0.1", port: int = 8371,
+                 sock: Optional[socket.socket] = None,
+                 tag: str = "") -> None:
         self._service = service
         self._host = host
         self._port = port
+        self._sock = sock
+        #: Log/fault-token prefix; set to ``w<i>`` by pre-fork workers
+        #: so fault draws and stderr lines are per-worker.
+        self._tag = tag
+        self._name = f"repro-serve[{tag}]" if tag else "repro-serve"
+        self._serial = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._drained = asyncio.Event()
         self._drain_task: Optional["asyncio.Task[None]"] = None
@@ -100,12 +112,18 @@ class ServiceServer:
 
     async def start(self) -> None:
         await self._service.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port)
+        if self._sock is not None:
+            # A pre-fork master bound (and keeps) the listening
+            # socket; every worker serves accepts off the shared fd.
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port)
         sockets = self._server.sockets or ()
         if sockets:
             self._port = sockets[0].getsockname()[1]
-        print(f"repro-serve: listening on "
+        print(f"{self._name}: listening on "
               f"http://{self._host}:{self._port}",
               file=sys.stderr, flush=True)
 
@@ -117,7 +135,7 @@ class ServiceServer:
 
     def _begin_drain(self, signame: str = "request") -> None:
         if self._drain_task is None:
-            print(f"repro-serve: {signame} received, draining",
+            print(f"{self._name}: {signame} received, draining",
                   file=sys.stderr, flush=True)
             self._drain_task = asyncio.get_running_loop().create_task(
                 self._drain())
@@ -132,7 +150,7 @@ class ServiceServer:
     async def serve_until_drained(self) -> None:
         """Block until a signal (or :meth:`shutdown`) finishes a drain."""
         await self._drained.wait()
-        print("repro-serve: drained cleanly", file=sys.stderr,
+        print(f"{self._name}: drained cleanly", file=sys.stderr,
               flush=True)
 
     async def shutdown(self) -> None:
@@ -243,12 +261,19 @@ class ServiceServer:
         if path == "/healthz":
             if method != "GET":
                 return 405, error_payload("healthz is GET-only"), None
-            return 200, {
-                "status": "draining" if self._service.draining
-                else "ok",
+            draining = self._service.draining \
+                or self._drain_task is not None
+            payload = {
+                "status": "draining" if draining else "ok",
                 "queue_depth": self._service.queue_depth,
                 "inflight": self._service.inflight,
-            }, None
+            }
+            # A draining worker is no longer healthy: 503 flips load
+            # balancer / probe checks immediately, while the body
+            # still reports the drain's progress.
+            if draining:
+                return 503, payload, 1.0
+            return 200, payload, None
         if path == "/metrics":
             if method != "GET":
                 return 405, error_payload("metrics is GET-only"), None
@@ -271,10 +296,30 @@ class ServiceServer:
             raise ValidationFailed(f"request body is not valid JSON: "
                                    f"{exc}") from exc
 
+    async def _fault_sites(self, key: Any) -> None:
+        """Fire the armed service fault sites for one point.
+
+        Tokens are ``<tag>:<serial>`` — the worker tag plus a
+        per-process request serial — so the same plan kills the same
+        requests on every run of a given worker, independent of
+        interleaving across workers.
+        """
+        self._serial += 1
+        token = f"{self._tag or 'w0'}:{self._serial}"
+        delay = faults.maybe_slow_request(token)
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        cache = self._service.runner.run_cache
+        if cache is not None:
+            faults.maybe_corrupt_served_entry(
+                cache.path_for(key), token)
+        faults.maybe_kill_server(token)
+
     async def _simulate_one(self, body: bytes
                             ) -> Tuple[int, Any, Optional[float]]:
         try:
             request = parse_request(self._parse_json(body))
+            await self._fault_sites(request.key)
             result, source = await self._service.submit(request.key)
         except ServiceError as exc:
             status, retry_after = _status_for(exc)
@@ -299,6 +344,7 @@ class ServiceServer:
         async def one(item: Any) -> Dict[str, Any]:
             try:
                 request = parse_request(item)
+                await self._fault_sites(request.key)
                 result, source = await self._service.submit(request.key)
             except ServiceError as exc:
                 status, retry_after = _status_for(exc)
@@ -313,16 +359,23 @@ class ServiceServer:
         return 200, results, None
 
 
-async def _serve(service: SimulationService, host: str,
-                 port: int) -> None:
-    server = ServiceServer(service, host, port)
+async def _serve(service: SimulationService, host: str, port: int,
+                 sock: Optional[socket.socket], tag: str) -> None:
+    server = ServiceServer(service, host, port, sock=sock, tag=tag)
     server.install_signal_handlers()
     await server.start()
     await server.serve_until_drained()
 
 
 def serve_main(service: SimulationService, host: str = "127.0.0.1",
-               port: int = 8371) -> int:
-    """Run the server until a graceful drain completes; returns 0."""
-    asyncio.run(_serve(service, host, port))
+               port: int = 8371,
+               sock: Optional[socket.socket] = None,
+               tag: str = "") -> int:
+    """Run the server until a graceful drain completes; returns 0.
+
+    ``sock`` is an already-bound listening socket (a pre-fork worker's
+    inherited fd); when given, ``host``/``port`` are used only for the
+    log line.
+    """
+    asyncio.run(_serve(service, host, port, sock, tag))
     return 0

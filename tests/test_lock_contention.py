@@ -1,0 +1,172 @@
+"""Multi-process contention for the advisory cache locks (PR-8).
+
+:mod:`repro.common.locking` promises three things under real
+cross-process contention, and this module proves each with actual
+forked processes, not threads: no lost updates for read-modify-write
+critical sections, a bounded :class:`LockTimeout` instead of a hang
+when the lock never frees, and exactly-once quarantine when many
+processes trip over the same corrupt cache entry at once.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.common.errors import LockTimeout
+from repro.common.locking import file_lock, lock_path_for
+from repro.experiments.runner import RunCache, RunKey
+
+#: Fork, not spawn: the suite runs on Linux and fork keeps the
+#: workers' imports instant, which matters when the point of the test
+#: is overlap.
+_mp = multiprocessing.get_context("fork")
+
+
+def _key() -> RunKey:
+    return RunKey("1P2L", "sobel", "small", 1.0, False, "default", 0)
+
+
+# -- read-modify-write: no lost updates ---------------------------------------
+
+
+def _increment_worker(counter: str, lock: str, rounds: int,
+                      barrier) -> None:
+    barrier.wait()
+    for _ in range(rounds):
+        with file_lock(lock, timeout=60.0):
+            with open(counter, "r", encoding="utf-8") as handle:
+                value = int(handle.read())
+            with open(counter, "w", encoding="utf-8") as handle:
+                handle.write(str(value + 1))
+
+
+@pytest.mark.slow
+class TestNoLostUpdates:
+    def test_concurrent_read_modify_write(self, tmp_path):
+        """N processes hammering one counter under the lock: every
+        increment must land.  Without the lock this loses updates
+        almost every run; with it the count is exact."""
+        procs, rounds = 4, 20
+        counter = str(tmp_path / "counter")
+        lock = lock_path_for(str(tmp_path))
+        with open(counter, "w", encoding="utf-8") as handle:
+            handle.write("0")
+        barrier = _mp.Barrier(procs)
+        workers = [_mp.Process(target=_increment_worker,
+                               args=(counter, lock, rounds, barrier))
+                   for _ in range(procs)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        with open(counter, encoding="utf-8") as handle:
+            assert int(handle.read()) == procs * rounds
+
+
+# -- bounded timeouts, never hangs --------------------------------------------
+
+
+class TestLockTimeout:
+    def test_held_lock_times_out_within_budget(self, tmp_path):
+        lock = lock_path_for(str(tmp_path))
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(file_lock(lock))
+            started = time.monotonic()
+            # flock conflicts across file descriptors, so a second
+            # acquisition in the same process contends like another
+            # process would.
+            with pytest.raises(LockTimeout):
+                with file_lock(lock, timeout=0.3):
+                    pass
+            elapsed = time.monotonic() - started
+        assert elapsed < 5.0  # bounded, nowhere near a hang
+
+    def test_store_skips_write_and_counts_when_lock_held(self,
+                                                         tmp_path):
+        """A wedged lock holder costs a best-effort write, never the
+        sweep: ``store`` gives up, counts ``lock_timeouts``, and
+        leaves no temp droppings behind."""
+        cache = RunCache(str(tmp_path), lock_timeout=0.3)
+        with file_lock(lock_path_for(str(tmp_path))):
+            cache.store(_key(), result="unwritable")
+        assert cache.lock_timeouts == 1
+        assert len(cache) == 0
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if ".tmp." in name]
+        assert leftovers == []
+
+    def test_lock_is_released_after_timeout_path(self, tmp_path):
+        lock = lock_path_for(str(tmp_path))
+        with file_lock(lock):
+            with pytest.raises(LockTimeout):
+                with file_lock(lock, timeout=0.2):
+                    pass
+        # The outer lock exited cleanly; a fresh acquire succeeds fast.
+        with file_lock(lock, timeout=1.0):
+            pass
+
+
+# -- exactly-once quarantine under concurrency --------------------------------
+
+
+def _quarantine_worker(root: str, barrier, queue) -> None:
+    cache = RunCache(root)
+    barrier.wait()
+    result = cache.load(_key())
+    queue.put((cache.corrupt_quarantined, result is None))
+
+
+@pytest.mark.slow
+class TestConcurrentQuarantine:
+    def test_corrupt_entry_quarantined_exactly_once(self, tmp_path):
+        """Many processes loading the same corrupt entry at once:
+        ``os.replace`` picks exactly one winner, so the quarantine is
+        counted once fleet-wide and the bad bytes survive for
+        postmortem — never N counts, never zero."""
+        root = str(tmp_path)
+        cache = RunCache(root)
+        path = cache.path_for(_key())
+        os.makedirs(root, exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle at all")
+        procs = 6
+        barrier = _mp.Barrier(procs)
+        queue = _mp.Queue()
+        workers = [_mp.Process(target=_quarantine_worker,
+                               args=(root, barrier, queue))
+                   for _ in range(procs)]
+        for worker in workers:
+            worker.start()
+        outcomes = [queue.get(timeout=60) for _ in range(procs)]
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        assert all(was_miss for _, was_miss in outcomes)
+        assert sum(count for count, _ in outcomes) == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        # Post-quarantine loads are plain misses, not repeat failures.
+        fresh = RunCache(root)
+        assert fresh.load(_key()) is None
+        assert fresh.corrupt_quarantined == 0
+
+    def test_truncated_pickle_quarantines_too(self, tmp_path):
+        """A torn write (valid prefix, truncated tail) takes the same
+        quarantine path as outright garbage."""
+        root = str(tmp_path)
+        cache = RunCache(root)
+        path = cache.path_for(_key())
+        os.makedirs(root, exist_ok=True)
+        payload = pickle.dumps({"format": 999, "result": object},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        assert cache.load(_key()) is None
+        assert cache.corrupt_quarantined == 1

@@ -1,0 +1,300 @@
+"""Pre-fork master supervision (PR-8 tentpole).
+
+Unit tests drive the supervision logic directly — exit
+classification, restart backoff, crash-loop degradation, the
+never-retire-the-last-worker invariant, state publication — with an
+injected clock and hand-built slots, no forking.  The end-to-end test
+forks the real fleet as a subprocess, SIGKILLs a worker, and watches
+the master restart it and then drain cleanly on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.experiments.supervisor import RetryPolicy
+from repro.service.master import (
+    PreforkMaster,
+    _WorkerSlot,
+    classify_exit,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestClassifyExit:
+    def test_clean_drain(self):
+        assert classify_exit(0, hung=False, draining=True) == "clean"
+
+    def test_nonzero_during_drain(self):
+        assert classify_exit(9, hung=False,
+                             draining=True) == "failed-drain"
+
+    def test_crash_restarts(self):
+        assert classify_exit(43, hung=False,
+                             draining=False) == "restart"
+
+    def test_hang_restarts(self):
+        # A SIGKILLed hung worker exits -9; the hung flag decides.
+        assert classify_exit(-9, hung=True, draining=False) == "restart"
+
+    def test_unsolicited_clean_exit_restarts(self):
+        """Exit 0 without a drain request still leaves the fleet a
+        worker short — it must be replaced, not celebrated."""
+        assert classify_exit(0, hung=False, draining=False) == "restart"
+
+
+def _master(tmp_path, slots: int = 2, clock=None, **kwargs):
+    clock = clock or FakeClock()
+    master = PreforkMaster(
+        build=lambda index: None, workers=slots,
+        outdir=str(tmp_path),
+        policy=kwargs.pop("policy", RetryPolicy(
+            max_retries=0, backoff_base=0.5, backoff_cap=4.0)),
+        clock=clock, **kwargs)
+    master._slots = [
+        _WorkerSlot(index=i,
+                    hb_path=str(tmp_path / f"{i}.hb"))
+        for i in range(slots)]
+    return master, clock
+
+
+class TestRestartScheduling:
+    def test_backoff_grows_with_consecutive_failures(self, tmp_path):
+        master, clock = _master(tmp_path)
+        slot = master._slots[0]
+        master._schedule_restart(slot, code=43)
+        assert slot.next_start == pytest.approx(clock.now + 0.5)
+        master._schedule_restart(slot, code=43)
+        assert slot.next_start == pytest.approx(clock.now + 1.0)
+        master._schedule_restart(slot, code=43)
+        assert slot.next_start == pytest.approx(clock.now + 2.0)
+        assert master.restarts_total == 3
+        assert not slot.retired
+
+    def test_backoff_is_capped(self, tmp_path):
+        master, clock = _master(
+            tmp_path, crash_loop_restarts=100)
+        slot = master._slots[0]
+        for _ in range(10):
+            master._schedule_restart(slot, code=43)
+        assert slot.next_start <= clock.now + 4.0
+
+    def test_stable_uptime_resets_the_streak(self, tmp_path):
+        master, clock = _master(tmp_path, crash_loop_window=30.0)
+        slot = master._slots[0]
+        master._schedule_restart(slot, code=43)
+        assert slot.failures == 1
+        # The worker comes back and stays up past the window.
+        slot.pid = 12345
+        slot.started = clock.now
+        clock.advance(31.0)
+        master._reset_stable_streaks()
+        assert slot.failures == 0
+        assert slot.recent == []
+        # The next crash backs off from the base again.
+        slot.pid = None
+        master._schedule_restart(slot, code=43)
+        assert slot.next_start == pytest.approx(clock.now + 0.5)
+
+    def test_restart_waits_for_backoff(self, tmp_path):
+        master, clock = _master(tmp_path)
+        master._slots[1].pid = 999  # healthy; not respawned
+        slot = master._slots[0]
+        spawned = []
+        master._spawn = lambda s: spawned.append(s.index)
+        master._schedule_restart(slot, code=43)
+        assert not master._restart_due()
+        clock.advance(0.6)
+        assert master._restart_due()
+        assert spawned == [0]
+
+
+class TestCrashLoopDegradation:
+    def test_crash_loop_retires_the_slot(self, tmp_path):
+        master, clock = _master(tmp_path, slots=3,
+                                crash_loop_restarts=5,
+                                crash_loop_window=30.0)
+        slot = master._slots[1]
+        for _ in range(5):
+            master._schedule_restart(slot, code=43)
+            clock.advance(1.0)  # all within the 30s window
+        assert slot.retired
+        assert not master._slots[0].retired
+        assert not master._slots[2].retired
+
+    def test_slow_crashes_outside_the_window_never_loop(self,
+                                                        tmp_path):
+        master, clock = _master(tmp_path, slots=2,
+                                crash_loop_restarts=5,
+                                crash_loop_window=30.0)
+        slot = master._slots[0]
+        for _ in range(20):
+            master._schedule_restart(slot, code=43)
+            clock.advance(31.0)  # each restart ages out of the window
+        assert not slot.retired
+
+    def test_the_last_worker_is_never_retired(self, tmp_path):
+        master, clock = _master(tmp_path, slots=2,
+                                crash_loop_restarts=5)
+        master._slots[1].retired = True
+        survivor = master._slots[0]
+        for _ in range(50):
+            master._schedule_restart(survivor, code=43)
+            clock.advance(0.1)
+        assert not survivor.retired
+        # Still scheduled to come back, with backoff applied.
+        assert survivor.next_start > clock.now
+
+    def test_retired_slots_are_not_respawned(self, tmp_path):
+        master, clock = _master(tmp_path, slots=2)
+        master._slots[0].retired = True
+        spawned = []
+        master._spawn = lambda s: spawned.append(s.index)
+        clock.advance(100.0)
+        master._restart_due()
+        assert spawned == [1]
+
+
+class TestStateFile:
+    def test_state_is_published_atomically(self, tmp_path):
+        master, clock = _master(tmp_path, slots=3)
+        master._slots[0].pid = 111
+        master._slots[1].pid = 222
+        master._slots[2].retired = True
+        master.restarts_total = 4
+        master._write_state()
+        with open(master.state_path, encoding="utf-8") as handle:
+            state = json.load(handle)
+        assert state["target"] == 2
+        assert state["alive"] == 2
+        assert state["restarts_total"] == 4
+        assert state["retired"] == [2]
+        assert state["pids"] == {"0": 111, "1": 222}
+        assert not state["draining"]
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name.startswith(".serve-state.json.tmp")]
+        assert leftovers == []
+
+
+READY_RE = re.compile(r"listening on http://[^:]+:(\d+)")
+
+
+def _wait_for(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    pytest.fail(f"timed out after {timeout:.0f}s waiting for {what}")
+
+
+def _read_state(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+@pytest.mark.slow
+class TestPreforkEndToEnd:
+    def test_kill_restart_and_drain(self, tmp_path):
+        """The full loop against a real fleet: SIGKILL a worker, the
+        master restarts it, requests keep being served, and SIGTERM
+        drains everything with exit 0."""
+        outdir = str(tmp_path / "out")
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(os.getcwd(), "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--outdir", outdir],
+            stderr=subprocess.PIPE, text=True, env=env)
+        port_box: list = []
+        ready = threading.Event()
+
+        def pump():
+            for raw in proc.stderr:
+                if not ready.is_set():
+                    match = READY_RE.search(raw)
+                    if match:
+                        port_box.append(int(match.group(1)))
+                        ready.set()
+            ready.set()
+
+        threading.Thread(target=pump, daemon=True).start()
+        state_path = os.path.join(outdir, ".serve-state.json")
+        try:
+            ready.wait(timeout=60)
+            assert port_box, "master never printed its readiness line"
+            port = port_box[0]
+
+            state = _wait_for(
+                lambda: (lambda s: s if s.get("alive") == 2 else None)(
+                    _read_state(state_path)),
+                30, "both workers alive in the state file")
+            victim = int(next(iter(state["pids"].values())))
+
+            from repro.service.client import RetryConfig, ServiceClient
+            with ServiceClient(
+                    port=port,
+                    retry=RetryConfig(max_retries=6,
+                                      backoff_base=0.2)) as client:
+                first = client.simulate("1P2L", "sobel", size="small")
+                assert first["cycles"] > 0
+
+                os.kill(victim, signal.SIGKILL)
+                _wait_for(
+                    lambda: _read_state(state_path)
+                    .get("restarts_total", 0) >= 1,
+                    30, "the master to record the restart")
+                _wait_for(
+                    lambda: _read_state(state_path).get("alive") == 2,
+                    30, "the replacement worker to come up")
+
+                # The fleet still serves, and identically.
+                again = client.simulate("1P2L", "sobel", size="small")
+                assert again["cycles"] == first["cycles"]
+
+                # /metrics (served by whichever worker accepts)
+                # mirrors the master's supervision state.
+                text = client.metrics()
+                assert "repro_worker_restarts_total" in text
+                restarts = [
+                    float(line.rsplit(" ", 1)[1])
+                    for line in text.splitlines()
+                    if line.startswith("repro_worker_restarts_total ")]
+                assert restarts and restarts[0] >= 1
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=90) == 0
+            final = _read_state(state_path)
+            assert final.get("alive") == 0
+            assert final.get("draining") is True
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()

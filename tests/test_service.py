@@ -243,6 +243,30 @@ class TestServer:
             return True
         assert _with_server(tmp_path, scenario)
 
+    def test_healthz_turns_503_once_draining(self, tmp_path):
+        """Probes must stop routing to a worker the moment its drain
+        begins, not when it finishes."""
+        async def scenario(server, client):
+            status, _, payload = await client._once(
+                "GET", "/healthz", None, False)
+            assert status == 200
+            # An in-flight simulation keeps the drain from finishing
+            # (and the listener from closing) while we probe.
+            inflight = asyncio.create_task(server.service.submit(
+                RunKey("1P2L", "sobel", "small", 1.0, False,
+                       "default", 0)))
+            await asyncio.sleep(0.05)
+            server._begin_drain()
+            status, headers, payload = await client._once(
+                "GET", "/healthz", None, False)
+            assert status == 503
+            assert payload["status"] == "draining"
+            assert "retry-after" in headers
+            await inflight
+            await server.serve_until_drained()
+            return True
+        assert _with_server(tmp_path, scenario)
+
     def test_load_coalesces_duplicates(self, tmp_path):
         """50+ overlapping requests, >30% duplicates: every duplicate
         must ride an in-flight simulation or the cache, never a second
@@ -397,13 +421,32 @@ class TestSyncClient:
 class TestRetry:
     def test_retry_config_delays(self):
         retry = RetryConfig(backoff_base=0.1, backoff_factor=2.0,
-                            backoff_cap=1.0)
+                            backoff_cap=1.0, jitter=False)
         assert retry.delay(0) == pytest.approx(0.1)
         assert retry.delay(1) == pytest.approx(0.2)
         assert retry.delay(10) == 1.0  # capped
         # Retry-After wins over the computed backoff (capped too).
         assert retry.delay(0, retry_after=0.5) == 0.5
         assert retry.delay(0, retry_after=99.0) == 1.0
+
+    def test_retry_config_full_jitter(self):
+        """Computed delays draw uniformly from [0, ceiling); the
+        server's Retry-After estimate is never jittered."""
+        retry = RetryConfig(backoff_base=0.1, backoff_factor=2.0,
+                            backoff_cap=1.0)
+        assert retry.delay(1, rng=lambda: 0.0) == 0.0
+        assert retry.delay(1, rng=lambda: 0.5) \
+            == pytest.approx(0.1)  # half of the 0.2 ceiling
+        assert retry.delay(10, rng=lambda: 0.25) \
+            == pytest.approx(0.25)  # capped ceiling, then jittered
+        # Retry-After bypasses the jitter entirely.
+        assert retry.delay(1, retry_after=0.5,
+                           rng=lambda: 0.0) == 0.5
+        # Real draws stay strictly inside the window.
+        for attempt in range(6):
+            ceiling = min(0.1 * 2.0 ** attempt, 1.0)
+            for _ in range(50):
+                assert 0.0 <= retry.delay(attempt) < ceiling + 1e-12
 
     def test_client_honors_retry_after_from_stub(self):
         """A 429 with a short Retry-After must be retried after that
