@@ -95,6 +95,15 @@ SPAN_MIN = 16
 DEMOTE_AFTER = 4 * CHUNK
 DEMOTE_FRACTION = 4
 
+
+def _demotion_due(start: int, bulk_rows: int) -> bool:
+    """True when the demotion guard fires at chunk offset ``start``.
+
+    The guard's expression, factored out of both replay loops so the
+    decision lives in exactly one place.
+    """
+    return start >= DEMOTE_AFTER and bulk_rows * DEMOTE_FRACTION < start
+
 #: Traces shorter than this replay through the scalar kernel even when
 #: :func:`supports` says yes: below ~2 chunks the vector path's
 #: classification overhead lands in the 0.78-0.86x crossover zone.
@@ -506,8 +515,7 @@ def _replay_vector(engine: VectorEngine, trace, cpu_config,
     bulk_rows = [0]
 
     for start in range(0, total, CHUNK):
-        if start >= DEMOTE_AFTER and \
-                bulk_rows[0] * DEMOTE_FRACTION < start:
+        if _demotion_due(start, bulk_rows[0]):
             # Miss-dominated: classification is not paying for itself.
             # The fused kernel span replays the rest bit-identically.
             span_replay(engine, packed, start, total, cpu_config, st)
@@ -862,8 +870,7 @@ def _replay_vector_1l(engine: VectorEngine, trace, cpu_config,
     bulk_rows = [0]
 
     for start in range(0, total, CHUNK):
-        if start >= DEMOTE_AFTER and \
-                bulk_rows[0] * DEMOTE_FRACTION < start:
+        if _demotion_due(start, bulk_rows[0]):
             span_replay(engine, packed, start, total, cpu_config, st)
             break
         stop = min(start + CHUNK, total)
