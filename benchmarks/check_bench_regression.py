@@ -43,6 +43,7 @@ THROUGHPUT_KEYS = (
     "kernel_loop_requests_per_sec",
     "kernel_2p2l_requests_per_sec",
     "vector_loop_requests_per_sec",
+    "vector_miss_loop_requests_per_sec",
     "service_chaos_requests_per_sec",
 )
 
@@ -64,6 +65,11 @@ VECTOR_KERNEL_RATIO = 2.0
 #: The 2P2L kernel replay must clear this multiple of the packed loop
 #: on the same trace within one artifact (the PR-7 acceptance bar).
 KERNEL_2P2L_PACKED_RATIO = 1.8
+
+#: The vector replay must clear this multiple of the scalar kernel on
+#: the same miss-heavy trace within one artifact (the PR-9 bar: the
+#: vectorized miss path must hold 2x even when every access misses).
+VECTOR_MISS_KERNEL_RATIO = 2.0
 
 
 def _load(path):
@@ -155,6 +161,20 @@ def check(baseline, current):
         else:
             print(f"  ok     2P2L kernel/packed ratio: {ratio:.2f}x "
                   f"(bar {KERNEL_2P2L_PACKED_RATIO:.1f}x)")
+    vm = current.get("vector_miss_loop_requests_per_sec")
+    km = current.get("vector_miss_loop_kernel_requests_per_sec")
+    if isinstance(vm, (int, float)) and isinstance(km, (int, float)) \
+            and km > 0:
+        ratio = vm / km
+        if ratio < VECTOR_MISS_KERNEL_RATIO:
+            failures.append(
+                f"miss-loop vector/kernel ratio: {vm:,.0f} req/s is "
+                f"only {ratio:.2f}x the scalar kernel ({km:,.0f} "
+                f"req/s); the acceptance bar is "
+                f"{VECTOR_MISS_KERNEL_RATIO:.1f}x")
+        else:
+            print(f"  ok     miss-loop vector/kernel ratio: "
+                  f"{ratio:.2f}x (bar {VECTOR_MISS_KERNEL_RATIO:.1f}x)")
     return failures
 
 

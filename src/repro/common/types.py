@@ -24,7 +24,7 @@ import enum
 from array import array
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 # -- Fixed geometry ---------------------------------------------------------
 #
@@ -314,19 +314,31 @@ def unpack_request(word: int) -> Request:
 class PackedTrace:
     """A request trace stored one 64-bit word per request.
 
-    The payload lives in a single ``array('Q')`` buffer (``words``), so
-    a materialized trace is a flat memory block: cheap to keep resident,
-    to share copy-on-write across forked workers, and to write to / read
-    from the binary trace store as raw bytes.  Iterating decodes to
-    :class:`Request` objects for compatibility with the object path;
-    the fast path hands ``words`` straight to the replay loop.
+    The payload lives in a single flat buffer of 64-bit words
+    (``words``): either an owning ``array('Q')`` or a read-only
+    ``memoryview`` cast to format ``'Q'`` over someone else's storage —
+    in particular an ``mmap`` of a trace-store entry, which makes a
+    loaded trace a zero-copy window onto the page cache that forked
+    workers share without duplication.  Every consumer reaches the
+    payload through the buffer protocol (``numpy.frombuffer``) or
+    plain indexing/iteration, which both forms support identically.
+    Iterating decodes to :class:`Request` objects for compatibility
+    with the object path; the fast path hands ``words`` straight to
+    the replay loop.  Pickling always materializes (a view is not
+    picklable), so a mapped trace round-trips as an owning one.
     """
 
     __slots__ = ("words",)
 
-    def __init__(self, words: Optional[array] = None) -> None:
+    def __init__(self,
+                 words: Union[array, memoryview, None] = None) -> None:
         if words is None:
             words = array("Q")
+        elif isinstance(words, memoryview):
+            if words.format != "Q":
+                raise ValueError(
+                    "PackedTrace needs a memoryview cast to 'Q', "
+                    f"got format {words.format!r}")
         elif words.typecode != "Q":
             raise ValueError(
                 f"PackedTrace needs array('Q'), got {words.typecode!r}")
@@ -352,6 +364,12 @@ class PackedTrace:
             swapped.byteswap()
             return swapped.tobytes()
         return self.words.tobytes()
+
+    def __reduce__(self):
+        # A memoryview payload (mmap-backed zero-copy load) is not
+        # picklable; both forms round-trip through the portable bytes
+        # encoding and unpickle as an owning trace.
+        return (PackedTrace.from_bytes, (self.to_bytes(),))
 
     def __len__(self) -> int:
         return len(self.words)

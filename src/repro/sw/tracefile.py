@@ -33,7 +33,9 @@ commands:
 
 from __future__ import annotations
 
+import mmap
 import struct
+import sys
 from typing import IO, Iterable, Iterator, Tuple, Union
 
 from ..common.errors import ProgramError
@@ -137,6 +139,11 @@ def write_packed_trace(trace: PackedTrace,
         with open(destination, "wb") as handle:
             return write_packed_trace(trace, handle, name)
     encoded = name.encode("utf-8")
+    # NUL-pad the name so the payload lands 64-bit aligned: the fixed
+    # header is 16 + 8 bytes, so a multiple-of-8 name field keeps
+    # zero-copy mapped reads on the aligned fast path.  Readers strip
+    # the padding; unpadded (pre-existing) files stay readable.
+    encoded += b"\x00" * (-len(encoded) % 8)
     destination.write(PACKED_MAGIC)
     destination.write(_PACKED_HEAD.pack(PACKED_VERSION, len(encoded)))
     destination.write(encoded)
@@ -180,7 +187,83 @@ def read_packed_trace(
             f"truncated packed trace payload (expected {count} "
             f"requests, got {len(payload) // 8})")
     try:
-        trace_name = name_bytes.decode("utf-8")
+        trace_name = name_bytes.rstrip(b"\x00").decode("utf-8")
     except UnicodeDecodeError:
         raise ProgramError("corrupt packed trace name") from None
     return trace_name, PackedTrace.from_bytes(payload)
+
+
+#: Header bytes before the name field: magic, version u32, namelen u32.
+_PACKED_PREFIX = len(PACKED_MAGIC) + _PACKED_HEAD.size
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+def read_packed_trace_mapped(path: str) -> Tuple[str, PackedTrace]:
+    """Read a packed trace file as a zero-copy ``mmap`` view.
+
+    Same header validation and error contract as
+    :func:`read_packed_trace` — bad magic, unsupported version, or a
+    truncated header/payload raise :class:`ProgramError`, and I/O
+    failures surface as ``OSError`` — but the returned
+    :class:`PackedTrace` wraps a read-only ``memoryview('Q')`` over
+    the file mapping instead of copying the payload into an
+    ``array``.  The mapping stays alive as long as the view does, and
+    forked workers share the pages copy-on-write.  Hosts or entries
+    the view cannot represent exactly — big-endian byte order, or a
+    payload offset that is not 64-bit aligned — silently take the
+    copying reader instead; corruption never does.
+    """
+    if _BIG_ENDIAN:  # pragma: no cover - big-endian hosts
+        return read_packed_trace(path)
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0,
+                               access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Empty or unmappable file: the copying reader produces
+            # the exact same result or the exact same error.
+            return read_packed_trace(path)
+    view = memoryview(mapped)
+    try:
+        head = bytes(view[:_PACKED_PREFIX])
+        if head[:len(PACKED_MAGIC)] != PACKED_MAGIC:
+            raise ProgramError(
+                f"not a packed mdacache trace "
+                f"(magic {head[:len(PACKED_MAGIC)]!r})")
+        if len(head) != _PACKED_PREFIX:
+            raise ProgramError("truncated packed trace header")
+        version, name_len = _PACKED_HEAD.unpack(
+            head[len(PACKED_MAGIC):])
+        if version != PACKED_VERSION:
+            raise ProgramError(
+                f"unsupported packed trace version {version} "
+                f"(expected {PACKED_VERSION})")
+        offset = _PACKED_PREFIX + name_len + _PACKED_COUNT.size
+        if len(view) < offset:
+            raise ProgramError("truncated packed trace header")
+        name_bytes = bytes(view[_PACKED_PREFIX:
+                                _PACKED_PREFIX + name_len])
+        (count,) = _PACKED_COUNT.unpack(
+            view[offset - _PACKED_COUNT.size:offset])
+        if len(view) - offset < 8 * count:
+            raise ProgramError(
+                f"truncated packed trace payload (expected {count} "
+                f"requests, got {(len(view) - offset) // 8})")
+        try:
+            trace_name = name_bytes.rstrip(b"\x00").decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProgramError("corrupt packed trace name") from None
+        if offset % 8:
+            # Unaligned payload (odd name length): numpy gathers over
+            # the view would go through the slow unaligned path —
+            # copying once is the better trade.
+            view.release()
+            mapped.close()
+            return read_packed_trace(path)
+        words = view[offset:offset + 8 * count].cast("Q")
+    except Exception:
+        view.release()
+        mapped.close()
+        raise
+    return trace_name, PackedTrace(words)

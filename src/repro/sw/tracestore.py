@@ -33,7 +33,7 @@ from typing import Optional, Tuple
 from ..common.errors import LockTimeout, ProgramError
 from ..common.locking import file_lock, lock_path_for
 from ..common.types import PackedTrace
-from .tracefile import read_packed_trace, write_packed_trace
+from .tracefile import read_packed_trace_mapped, write_packed_trace
 
 #: Default location of the trace store, relative to an experiment
 #: output directory.
@@ -71,10 +71,20 @@ class TraceStore:
 
     def load(self, workload: str, size: str,
              logical_dims: int) -> Optional[Tuple[str, PackedTrace]]:
-        """``(program name, trace)``, or ``None`` on any miss."""
+        """``(program name, trace)``, or ``None`` on any miss.
+
+        Hits are served zero-copy: the returned trace is a read-only
+        ``memoryview`` over an ``mmap`` of the store entry, so repeat
+        loads and forked workers share one set of page-cache pages
+        (:func:`repro.sw.tracefile.read_packed_trace_mapped`; hosts or
+        entries the view cannot represent take the copying reader
+        inside it).  The durability contract is unchanged — a corrupt,
+        truncated, or version-mismatched entry still reads as a miss
+        and is quarantined, never raised.
+        """
         path = self.path_for(workload, size, logical_dims)
         try:
-            return read_packed_trace(path)
+            return read_packed_trace_mapped(path)
         except FileNotFoundError:
             return None
         except (OSError, ProgramError, ValueError, EOFError):

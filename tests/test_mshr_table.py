@@ -1,0 +1,211 @@
+"""The flat FIFO MSHR table behind the vectorized miss path.
+
+Covers :class:`repro.core.kernels.MshrTable`: the packed 64-bit word
+layout (:func:`pack_mshr_word` / :func:`unpack_mshr_word` round-trip
+under hypothesis), exact parity of seed/retire/insert/flush against a
+plain dict model of the inlined object MSHR semantics, the monotone
+guard that sends out-of-order completion sequences back to the scalar
+path, and the rewind contract (append-only arrays, head restore).
+"""
+
+from __future__ import annotations
+
+from repro.core.kernels import (
+    MSHR_NO_SLOT,
+    MshrTable,
+    pack_mshr_word,
+    unpack_mshr_word,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as some
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the env
+    HAVE_HYPOTHESIS = False
+
+
+class _StoreStub:
+    """Just the pending-file surface ``seed``/``flush`` touch."""
+
+    def __init__(self, pending=(), earliest=None):
+        self.pending_at = {}
+        self.pending_lvl = {}
+        self.pending_tiles = {}
+        self.earliest = earliest
+        for line, completion, level in pending:
+            self.pending_at[line] = completion
+            self.pending_lvl[line] = level
+            key = line >> 3
+            self.pending_tiles[key] = self.pending_tiles.get(key, 0) + 1
+
+
+class _DictModel:
+    """The inlined object-MSHR semantics, written the slow plain way."""
+
+    def __init__(self, pending, earliest):
+        self.pending = dict(pending)  # line -> (completion, level)
+        self.earliest = earliest
+
+    def retire(self, now):
+        if self.earliest is not None and now < self.earliest:
+            return
+        self.pending = {line: entry
+                        for line, entry in self.pending.items()
+                        if entry[0] > now}
+        self.earliest = min(
+            (entry[0] for entry in self.pending.values()), default=None)
+
+    def insert(self, line, completion, level, issue):
+        self.pending[line] = (completion, level)
+        earliest = self.earliest
+        if earliest is None or issue < earliest:
+            earliest = issue
+        if completion < earliest:
+            earliest = completion
+        self.earliest = earliest
+
+
+class TestPackedWord:
+    def test_known_layout(self):
+        word = pack_mshr_word(5, 3, slot=7)
+        assert word == (5 << 20) | (7 << 4) | 3
+        assert unpack_mshr_word(word) == (5, 7, 3)
+
+    def test_default_slot_is_sentinel(self):
+        assert unpack_mshr_word(pack_mshr_word(1, 0)) \
+            == (1, MSHR_NO_SLOT, 0)
+
+    if HAVE_HYPOTHESIS:
+        @settings(max_examples=200, deadline=None)
+        @given(some.integers(0, (1 << 44) - 1), some.integers(0, 15),
+               some.integers(0, MSHR_NO_SLOT))
+        def test_round_trip(self, completion, level, slot):
+            word = pack_mshr_word(completion, level, slot=slot)
+            assert 0 <= word < 1 << 64
+            assert unpack_mshr_word(word) == (completion, slot, level)
+
+
+def _seed_table(entries, earliest):
+    stub = _StoreStub(entries, earliest)
+    table = MshrTable.seed(stub)
+    model = _DictModel({line: (completion, level)
+                        for line, completion, level in entries},
+                       earliest)
+    return table, model
+
+
+def _assert_parity(table, model):
+    assert len(table) == len(model.pending)
+    assert table.earliest == model.earliest
+    for line, (completion, level) in model.pending.items():
+        assert table.completion_of(line) == completion
+        assert table.level_of(line) == level
+    if model.pending:
+        assert table.min_completion() == min(
+            entry[0] for entry in model.pending.values())
+    out = _StoreStub()
+    table.flush(out)
+    assert out.pending_at == {line: entry[0]
+                              for line, entry in model.pending.items()}
+    assert out.pending_lvl == {line: entry[1]
+                               for line, entry in model.pending.items()}
+    expect_tiles = {}
+    for line in model.pending:
+        expect_tiles[line >> 3] = expect_tiles.get(line >> 3, 0) + 1
+    assert out.pending_tiles == expect_tiles
+    assert out.earliest == model.earliest
+
+
+class TestTableParity:
+    def test_seed_flush_round_trip(self):
+        entries = [(10, 100, 0), (11, 120, 1), (90, 130, 0)]
+        table, model = _seed_table(entries, 95)
+        assert table.monotone
+        _assert_parity(table, model)
+
+    def test_non_monotone_seed_flagged(self):
+        table, _ = _seed_table([(1, 200, 0), (2, 150, 0)], 150)
+        assert not table.monotone
+
+    def test_non_monotone_insert_flagged(self):
+        table, _ = _seed_table([(1, 100, 0)], 100)
+        table.insert(2, 90, 0, issue=80)
+        assert not table.monotone
+
+    def test_retire_gated_by_earliest(self):
+        # earliest below every completion (an issue-time floor): a
+        # retire before it must not pop anything.
+        table, model = _seed_table([(1, 100, 0)], 40)
+        table.retire(30)
+        model.retire(30)
+        _assert_parity(table, model)
+        table.retire(100)
+        model.retire(100)
+        _assert_parity(table, model)
+
+    def test_rewind_restores_pre_row_state(self):
+        # The bulk executor's bail: snapshot head/earliest/last, run a
+        # row (retire + insert), then rewind.  The flushed store must
+        # look exactly like the snapshot's.
+        table, model = _seed_table([(1, 100, 0), (2, 110, 1)], 100)
+        head, earliest, last = table.head, table.earliest, \
+            table.last_completion
+        nlines = len(table.lines)
+        table.retire(105)
+        table.insert(3, 130, 0, issue=106)
+        table.head, table.earliest, table.last_completion = \
+            head, earliest, last
+        del table.lines[nlines:]
+        del table.words[nlines:]
+        table.index = {line: pos for pos, line
+                       in enumerate(table.lines)}
+        _assert_parity(table, model)
+
+    if HAVE_HYPOTHESIS:
+        @settings(max_examples=150, deadline=None)
+        @given(some.data())
+        def test_random_op_sequences_match_dict_model(self, data):
+            """seed -> {retire, insert}* -> flush equals the model.
+
+            Completions are nondecreasing in insertion order — the
+            contract bulk qualification enforces (the table flags any
+            violation via ``monotone`` and callers bail, so only
+            monotone sequences ever execute).
+            """
+            n_seed = data.draw(some.integers(0, 6), label="n_seed")
+            completion = 0
+            seed_entries = []
+            for line in range(n_seed):
+                completion += data.draw(some.integers(0, 50),
+                                        label="seed_gap")
+                level = data.draw(some.integers(0, 3), label="seed_lvl")
+                seed_entries.append((line, completion, level))
+            if seed_entries:
+                floor = data.draw(
+                    some.integers(0, seed_entries[0][1]),
+                    label="earliest")
+            else:
+                floor = None
+            table, model = _seed_table(seed_entries, floor)
+            assert table.monotone
+            next_line = n_seed
+            for _ in range(data.draw(some.integers(0, 12),
+                                     label="n_ops")):
+                if data.draw(some.booleans(), label="op"):
+                    now = data.draw(some.integers(0, completion + 100),
+                                    label="now")
+                    table.retire(now)
+                    model.retire(now)
+                else:
+                    completion += data.draw(some.integers(0, 50),
+                                            label="gap")
+                    level = data.draw(some.integers(0, 3), label="lvl")
+                    issue = data.draw(some.integers(0, completion),
+                                      label="issue")
+                    table.insert(next_line, completion, level,
+                                 issue=issue)
+                    model.insert(next_line, completion, level, issue)
+                    next_line += 1
+                assert table.monotone
+            _assert_parity(table, model)

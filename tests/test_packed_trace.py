@@ -173,6 +173,17 @@ class TestTraceStore:
         assert len(store) == 1
         assert store.load("sobel", "small", 2) == ("sobel", trace)
 
+    def test_load_is_zero_copy(self, tmp_path):
+        # Store hits come back as a read-only memoryview over an mmap
+        # of the entry, not a copied array (PR-9).
+        store = TraceStore(str(tmp_path))
+        trace = generate_packed_trace(build_workload("sobel", "small"), 2)
+        store.store("sobel", "small", 2, "sobel", trace)
+        _, loaded = store.load("sobel", "small", 2)
+        assert isinstance(loaded.words, memoryview)
+        assert loaded.words.readonly
+        assert loaded == trace
+
     def test_versioned_filenames(self, tmp_path):
         store = TraceStore(str(tmp_path))
         path = store.path_for("sgemm", "large", 2)

@@ -1,18 +1,27 @@
 """Unit tests for trace file I/O."""
 
+import array
 import io
+import pickle
+import struct
 
 import pytest
 
 from repro.common.errors import ProgramError
-from repro.common.types import AccessWidth, Orientation, Request
+from repro.common.types import AccessWidth, Orientation, PackedTrace, \
+    Request
 from repro.core.simulator import run_simulation, run_trace
 from repro.core.system import make_system
 from repro.sw.tracefile import (
     HEADER,
+    PACKED_MAGIC,
+    PACKED_VERSION,
     format_request,
     parse_request,
+    read_packed_trace,
+    read_packed_trace_mapped,
     read_trace,
+    write_packed_trace,
     write_trace,
 )
 from repro.sw.tracegen import generate_trace
@@ -94,3 +103,129 @@ class TestReplayFidelity:
                            iter(sample_requests()), name="custom")
         assert result.workload == "custom"
         assert result.ops == 2
+
+
+class TestMappedReads:
+    """Zero-copy ``mmap`` reads of packed trace files."""
+
+    @staticmethod
+    def _write(path, name="htap1"):
+        trace = PackedTrace.from_requests(sample_requests())
+        write_packed_trace(trace, str(path), name=name)
+        return trace
+
+    @staticmethod
+    def _legacy_bytes(name, trace):
+        """A pre-padding packed file: the name field is written
+        verbatim, so odd lengths leave the payload unaligned."""
+        encoded = name.encode("utf-8")
+        return (PACKED_MAGIC
+                + struct.pack("<II", PACKED_VERSION, len(encoded))
+                + encoded
+                + struct.pack("<Q", len(trace))
+                + trace.to_bytes())
+
+    def test_mapped_read_is_zero_copy(self, tmp_path):
+        path = tmp_path / "t.mdat"
+        trace = self._write(path)
+        name, mapped = read_packed_trace_mapped(str(path))
+        assert name == "htap1"
+        assert isinstance(mapped.words, memoryview)
+        assert mapped.words.readonly
+        assert mapped == trace
+        assert list(mapped) == sample_requests()
+
+    def test_name_padding_round_trips_both_readers(self, tmp_path):
+        # An aligned (multiple-of-8) name takes no padding; an odd one
+        # does.  Both readers must strip it.
+        for name in ("t", "eight888", "padded-name"):
+            path = tmp_path / f"{len(name)}.mdat"
+            trace = self._write(path, name=name)
+            assert read_packed_trace(str(path)) == (name, trace)
+            got_name, got = read_packed_trace_mapped(str(path))
+            assert (got_name, got) == (name, trace)
+            assert isinstance(got.words, memoryview)
+
+    def test_legacy_unpadded_file_falls_back_to_copy(self, tmp_path):
+        # Pre-padding files with odd name lengths leave the payload
+        # unaligned: the mapped reader silently hands off to the
+        # copying reader rather than serving unaligned gathers.
+        trace = PackedTrace.from_requests(sample_requests())
+        path = tmp_path / "legacy.mdat"
+        path.write_bytes(self._legacy_bytes("htap1", trace))
+        name, got = read_packed_trace_mapped(str(path))
+        assert (name, got) == ("htap1", trace)
+        assert isinstance(got.words, array.array)
+
+    def test_legacy_aligned_file_maps(self, tmp_path):
+        trace = PackedTrace.from_requests(sample_requests())
+        path = tmp_path / "legacy8.mdat"
+        path.write_bytes(self._legacy_bytes("eight888", trace))
+        name, got = read_packed_trace_mapped(str(path))
+        assert (name, got) == ("eight888", trace)
+        assert isinstance(got.words, memoryview)
+
+    def test_mapped_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.mdat"
+        path.write_bytes(b"NOTATRCE" + b"\x00" * 24)
+        with pytest.raises(ProgramError, match="magic"):
+            read_packed_trace_mapped(str(path))
+
+    def test_mapped_rejects_truncation(self, tmp_path):
+        path = tmp_path / "t.mdat"
+        self._write(path)
+        blob = path.read_bytes()
+        for cut in (4, len(blob) - 8, len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(ProgramError):
+                read_packed_trace_mapped(str(path))
+
+    def test_mapped_rejects_version_mismatch(self, tmp_path):
+        path = tmp_path / "t.mdat"
+        self._write(path)
+        blob = bytearray(path.read_bytes())
+        blob[8] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ProgramError, match="version"):
+            read_packed_trace_mapped(str(path))
+
+    def test_empty_file_reads_like_copy_reader(self, tmp_path):
+        path = tmp_path / "empty.mdat"
+        path.write_bytes(b"")
+        with pytest.raises(ProgramError):
+            read_packed_trace_mapped(str(path))
+
+    def test_mapped_trace_pickles_as_owning_copy(self, tmp_path):
+        # Forked pool workers pickle shard traces; a memoryview is not
+        # picklable, so the round trip must rebuild an owning trace.
+        path = tmp_path / "t.mdat"
+        trace = self._write(path)
+        _, mapped = read_packed_trace_mapped(str(path))
+        clone = pickle.loads(pickle.dumps(mapped))
+        assert clone == trace
+        assert isinstance(clone.words, array.array)
+
+    def test_mapped_slices_stay_views(self, tmp_path):
+        # Shard slicing (simulator.py) slices trace.words directly;
+        # a memoryview slice must still replay and re-pickle.
+        path = tmp_path / "t.mdat"
+        trace = self._write(path)
+        _, mapped = read_packed_trace_mapped(str(path))
+        shard = PackedTrace(mapped.words[1:])
+        assert isinstance(shard.words, memoryview)
+        assert list(shard) == list(trace)[1:]
+        assert pickle.loads(pickle.dumps(shard)) == shard
+
+    def test_mapped_replay_matches_copy_replay(self, tmp_path):
+        from repro.sw.tracegen import generate_packed_trace
+        program = build_workload("sobel", "small")
+        trace = generate_packed_trace(program, 2)
+        path = tmp_path / "sobel.mdat"
+        write_packed_trace(trace, str(path), name="sobel")
+        _, mapped = read_packed_trace_mapped(str(path))
+        assert isinstance(mapped.words, memoryview)
+        via_mapped = run_trace(make_system("1P2L", 1.0), mapped,
+                               name="t")
+        via_copy = run_trace(make_system("1P2L", 1.0), trace, name="t")
+        assert via_mapped.cycles == via_copy.cycles
+        assert via_mapped.stats.flat() == via_copy.stats.flat()

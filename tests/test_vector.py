@@ -220,14 +220,17 @@ class TestVectorParity:
         flat = via_vector.stats.flat()
         assert flat["cache.L1.hits"] >= 3 * vector.CHUNK - 8
 
-    def test_miss_trace_demotion_identity(self):
-        """Miss-dominated traces demote to the fused kernel span.
+    def test_miss_trace_identity_no_demotion_guard(self):
+        """Miss-dominated traces stay on the vector path bit-exactly.
 
-        Long enough to cross DEMOTE_AFTER with a bulk fraction far
-        below the guard, so the demotion branch executes; results must
-        stay bit-identical (the span *is* the kernel loop).
+        The scalar-demotion guard (DEMOTE_AFTER/DEMOTE_FRACTION) is
+        gone — misses that reach memory replay through the fused
+        kernel span per chunk, never by abandoning the vector loop —
+        and results must stay bit-identical.
         """
-        packed = _miss_trace(vector.DEMOTE_AFTER + vector.CHUNK + 7)
+        assert not hasattr(vector, "DEMOTE_AFTER")
+        assert not hasattr(vector, "DEMOTE_FRACTION")
+        packed = _miss_trace(6 * vector.CHUNK + 7)
         via_vector = run_trace(make_system("1P2L", 1.0), packed,
                                name="t")
         with vector.vector_disabled():
@@ -365,3 +368,97 @@ class TestClassify:
         engine.levels[0].ready_at.clear()
         bulk = vector.classify_chunk(engine, packed.words)
         assert bulk.all()
+
+
+def _miss_system():
+    """Two-level system whose 256KB SRAM second level (512 sets x 8
+    ways) holds a multi-thousand-tile working set: every access is an
+    L1 miss served by the second level, so classification chunks
+    retire through the bulk-miss path."""
+    from repro.common.config import CpuConfig, MemoryConfig, \
+        SystemConfig
+    from repro.core.system import _l1, _llc_sram
+    return SystemConfig(
+        levels=[_l1(2),
+                _llc_sram(256 * 1024, 2, "different_set", name="L2")],
+        memory=MemoryConfig(), cpu=CpuConfig())
+
+
+def _wide_miss_trace(n, tiles=3584):
+    """Row-0 vector reads cycling ``tiles`` distinct tiles."""
+    return PackedTrace.from_requests(
+        [_row_vector(i % tiles, 0) for i in range(n)])
+
+
+class TestMissPath:
+    """The vectorized miss path (PR-9): array-side MSHR/fill retire."""
+
+    def _identity(self, system_factory, packed, expect_bulk=None):
+        vector.BULK_MISS_ROWS[0] = 0
+        via_vector = run_trace(system_factory(), packed, name="t")
+        bulk = vector.BULK_MISS_ROWS[0]
+        with vector.vector_disabled():
+            reference = run_trace(system_factory(), packed, name="t")
+        assert via_vector.cycles == reference.cycles
+        assert via_vector.stats.flat() == reference.stats.flat()
+        if expect_bulk is not None:
+            assert bulk >= expect_bulk
+        return via_vector
+
+    def test_uniform_window_fast_path_identity(self):
+        """Pure L1-miss/L2-hit stream: whole chunks retire through the
+        uniform-window fast path, bit-identical to the scalar kernel."""
+        result = self._identity(
+            _miss_system, _wide_miss_trace(4 * vector.CHUNK),
+            # Chunk 0 classifies cold (scalar); the rest retire in bulk.
+            expect_bulk=2 * vector.CHUNK)
+        flat = result.stats.flat()
+        assert flat["cache.L1.misses"] >= 4 * vector.CHUNK - 8
+
+    def test_mixed_hit_miss_windows_identity(self):
+        """Windows mixing resident hits with miss runs: the bulk path
+        must retire the miss spans and drain the poisoned hits without
+        perturbing a single counter."""
+        reqs = []
+        for i in range(4 * vector.CHUNK):
+            if (i >> 6) & 1:
+                reqs.append(_row_vector(i & 7, (i >> 3) & 7))  # hot set
+            else:
+                reqs.append(_row_vector(64 + (i % 3072), 0))   # stride
+        self._identity(_miss_system, PackedTrace.from_requests(reqs),
+                       expect_bulk=1)
+
+    def test_all_sets_saturated_identity(self):
+        """More distinct tiles than the second level holds: every set
+        is full, so each bulk fill evicts a victim.  The install
+        scatter and the scalar loop must pick identical victims."""
+        # 512 sets x 8 ways = 4096 lines; 4608 tiles thrash every set.
+        self._identity(_miss_system,
+                       _wide_miss_trace(4 * vector.CHUNK, tiles=4608))
+
+    def test_stamp_collision_identity(self, monkeypatch):
+        """LRU stamp saturation mid-window: compaction must land where
+        the scalar kernel puts it even when fills race the limit.
+
+        The limit is shrunk enough that a window's fills cross it many
+        times per replay, but not so far that every access recompacts
+        the 4096-line store (that would be quadratic, not edgier).
+        """
+        monkeypatch.setattr(kernels, "AGE_LIMIT", 20_000)
+        self._identity(_miss_system, _wide_miss_trace(4 * vector.CHUNK))
+
+    def test_cold_cache_sharded_epochs_no_demotion(self):
+        """Every cold-cache epoch of a sharded replay retires misses in
+        bulk — the scalar-demotion guard is gone, not just dormant —
+        and each epoch stays bit-identical to the pinned kernel."""
+        assert not hasattr(vector, "DEMOTE_AFTER")
+        assert not hasattr(vector, "DEMOTE_FRACTION")
+        from repro.common.types import ShardPlan
+        packed = _wide_miss_trace(8 * vector.CHUNK)
+        plan = ShardPlan.plan(len(packed), 2)
+        assert len(plan.bounds) == 3
+        for begin, end in zip(plan.bounds, plan.bounds[1:]):
+            shard = PackedTrace(packed.words[begin:end])
+            assert len(shard) >= vector.MIN_VECTOR_TRACE
+            self._identity(_miss_system, shard,
+                           expect_bulk=vector.CHUNK)
