@@ -44,6 +44,7 @@ THROUGHPUT_KEYS = (
     "kernel_2p2l_requests_per_sec",
     "vector_loop_requests_per_sec",
     "vector_miss_loop_requests_per_sec",
+    "tier_replay_requests_per_sec",
     "service_chaos_requests_per_sec",
 )
 

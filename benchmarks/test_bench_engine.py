@@ -27,6 +27,7 @@ import json
 import os
 import time
 
+from repro.common.config import apply_overrides
 from repro.common.types import AccessWidth, Orientation, PackedTrace, \
     Request
 from repro.core import kernels, vector
@@ -336,6 +337,46 @@ def test_vector_miss_loop_requests_per_second(benchmark):
     # Acceptance: the vectorized miss path must clear 2x the pinned
     # scalar kernel on the same trace and host.
     assert rps >= 2.0 * kernel_rps
+
+
+def test_tier_replay_requests_per_second(benchmark):
+    """Replay throughput with the die-stacked tier below the LLC.
+
+    The miss trace's 1.75MB working set overflows the scaled LLC, so
+    below-LLC traffic flows through the hybrid tier: the flat half
+    absorbs the low tiles, the cache half sees the rest through the
+    TDRAM probe + RBLA install path.  The pinned scalar kernel replays
+    the same trace for bit-identity; the recorded throughput is gated
+    by ``check_bench_regression.py`` so the tier hook on the replay
+    hot path cannot silently decay.
+    """
+    overrides = {"tier.mode": "hybrid",
+                 "tier.size_bytes": 2 * 1024 * 1024,
+                 "tier.cache_fraction": 0.5}
+    system = apply_overrides(make_system("1P2L", 1.0), overrides)
+    packed = _miss_trace()
+
+    with vector.vector_disabled():
+        reference = run_trace(system, packed, name="tierloop")
+    tier_stats = {name: value
+                  for name, value in reference.stats.flat().items()
+                  if name.startswith("tier.")}
+    assert tier_stats.get("tier.fetches", 0) > 0, \
+        "the bench trace must actually reach the tier"
+
+    result = benchmark.pedantic(run_trace, args=(system, packed),
+                                kwargs={"name": "tierloop"},
+                                rounds=5, iterations=1)
+    assert result.cycles == reference.cycles
+    assert result.stats.flat() == reference.stats.flat()
+    seconds = benchmark.stats["min"]
+    rps = result.ops / seconds
+    print(f"\ntier replay: {result.ops} requests in {seconds:.3f}s "
+          f"(best of 5) = {rps:,.0f} req/s "
+          f"({tier_stats['tier.fetches']} tier fetches, "
+          f"{tier_stats['tier.flat_hits']} flat hits, "
+          f"{tier_stats['tier.hits']} cache hits)")
+    _merge_artifact({"tier_replay_requests_per_sec": round(rps)})
 
 
 def test_sharded_replay_speedup():

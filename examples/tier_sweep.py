@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Die-stacked tier sweep: cache vs flat vs hybrid below the LLC.
+
+A miniature of the ``tier_modes`` experiment for a handful of kernels:
+runs a 1P2L hierarchy with the polymorphic die-stacked tier in each of
+its three personalities (tag-in-DRAM cache, flat addressable region,
+50/50 hybrid) and prints normalized execution time against the same
+hierarchy without a tier, plus the tier's own service counters.
+
+Usage::
+
+    python examples/tier_sweep.py [size] [workload ...]
+"""
+
+import sys
+
+from repro.common.config import apply_overrides
+from repro.core.simulator import run_simulation
+from repro.core.system import make_system
+
+TIER_BYTES = 2 * 1024 * 1024
+
+MODES = (
+    ("cache", {"tier.mode": "cache", "tier.size_bytes": TIER_BYTES}),
+    ("flat", {"tier.mode": "flat", "tier.size_bytes": TIER_BYTES}),
+    ("hybrid", {"tier.mode": "hybrid", "tier.size_bytes": TIER_BYTES,
+                "tier.cache_fraction": 0.5}),
+)
+
+
+def main() -> None:
+    size = sys.argv[1] if len(sys.argv) > 1 else "small"
+    workloads = sys.argv[2:] or ["sgemm", "sobel", "jacobi2d"]
+    print(f"Cycles with a 2 MiB die-stacked tier, normalized to the "
+          f"tier-less 1P2L ({size} inputs), lower is better:\n")
+    header = f"{'workload':<12}" + "".join(
+        f"{mode:>10}" for mode, _ in MODES)
+    print(header)
+    print("-" * len(header))
+    for workload in workloads:
+        base = run_simulation(make_system("1P2L", 1.0),
+                              workload=workload, size=size)
+        cells = []
+        for _, overrides in MODES:
+            system = apply_overrides(make_system("1P2L", 1.0),
+                                     overrides)
+            result = run_simulation(system, workload=workload,
+                                    size=size)
+            cells.append(f"{result.cycles / base.cycles:>10.3f}")
+        print(f"{workload:<12}" + "".join(cells))
+
+    # One detailed service breakdown (cache mode, last workload).
+    system = apply_overrides(make_system("1P2L", 1.0), MODES[0][1])
+    print(f"\n{system.describe()}")
+    result = run_simulation(system, workload=workloads[-1], size=size)
+    tier = {name.split(".", 1)[1]: value
+            for name, value in result.stats.flat().items()
+            if name.startswith("tier.")}
+    print(f"tier service for {workloads[-1]}: "
+          f"{tier['fetches']} fetches, {tier['hits']} hits, "
+          f"{tier['rbla_bypasses']} RBLA bypasses, "
+          f"{tier['rbla_installs']} RBLA installs")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,7 +35,7 @@ from .workloads.registry import workload_names
 _EXPERIMENTS = ("table1", "fig10", "fig11", "fig12", "fig13", "fig14",
                 "fig15", "fig16", "fig17", "layout_mismatch",
                 "future_tiling", "energy", "dynamic_orientation",
-                "multiprogram", "run_all")
+                "multiprogram", "tier_modes", "run_all")
 
 
 def _cmd_list(_: argparse.Namespace) -> int:

@@ -9,18 +9,24 @@ Maps taxonomy points to classes (paper Section IV-C):
 * ``2P2L`` -> :class:`Cache2P2L` (Design 2 LLC, dense or sparse fill).
 
 Levels are chained L1 -> ... -> LLC -> memory port, and the hierarchy
-object is the single entry point the CPU model uses.
+object is the single entry point the CPU model uses.  When the
+system's :class:`~repro.common.config.TierConfig` is active, a
+:class:`~repro.tier.DieStackedTier` slots in between the LLC and the
+memory port — :attr:`CacheHierarchy.port` (the kernel/vector chain
+bottom) then *is* the tier, so every replay path sees the same
+component in the same program order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import CacheLevelConfig, SystemConfig
 from ..common.errors import ConfigError
 from ..common.stats import StatRegistry
 from ..common.types import AccessResult, Request
 from ..mem.mda_memory import MdaMemory
+from ..tier import DieStackedTier
 from .base import CacheLevel, MemoryPort
 from .cache_1p1l import Cache1P1L
 from .cache_1p2l import Cache1P2L
@@ -49,13 +55,18 @@ class CacheHierarchy:
         self._memory = MdaMemory(config.memory, stats,
                                  allow_column=True)
         self._port = MemoryPort(self._memory, stats)
+        self._tier: Optional[DieStackedTier] = None
+        if config.tier.active:
+            self._tier = DieStackedTier(config.tier, stats,
+                                        self._memory, self._port,
+                                        len(config.levels) + 1)
         self._levels: List[CacheLevel] = []
         for idx, level_cfg in enumerate(config.levels, start=1):
             self._levels.append(
                 build_cache_level(level_cfg, idx, stats, replacement))
         for upper, lower in zip(self._levels, self._levels[1:]):
             upper.connect(lower)
-        self._levels[-1].connect(self._port)
+        self._levels[-1].connect(self._tier or self._port)
 
     @property
     def levels(self) -> List[CacheLevel]:
@@ -74,9 +85,16 @@ class CacheHierarchy:
         return self._memory
 
     @property
-    def port(self) -> MemoryPort:
-        """The memory-side port below the LLC (kernel chain bottom)."""
-        return self._port
+    def port(self):
+        """What sits below the LLC (the kernel chain bottom): the
+        die-stacked tier when one is configured, else the raw memory
+        port."""
+        return self._tier or self._port
+
+    @property
+    def tier(self) -> Optional[DieStackedTier]:
+        """The die-stacked tier, or ``None`` when disabled."""
+        return self._tier
 
     @property
     def replacement(self) -> str:
@@ -99,9 +117,12 @@ class CacheHierarchy:
         return self._memory.finish(now)
 
     def flush(self, now: int) -> int:
-        """Flush every cache level top-down, then drain memory."""
+        """Flush every cache level top-down (then the tier), then
+        drain memory."""
         for level in self._levels:
             level.flush(now)
+        if self._tier is not None:
+            self._tier.flush(now)
         return self._memory.finish(now)
 
     def occupancy_by_level(self) -> Dict[str, Tuple[int, int]]:

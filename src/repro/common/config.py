@@ -9,7 +9,7 @@ working-set : capacity ratios that drive every result figure).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List
+from typing import Dict, List
 
 from .errors import ConfigError
 from .types import LINE_BYTES, TILE_BYTES
@@ -216,6 +216,139 @@ class MemoryConfig:
         return replace(self, speed_factor=self.speed_factor * factor)
 
 
+#: Operating modes of the die-stacked tier (Bakhshalipour et al.,
+#: "Die-Stacked DRAM: Memory, Cache, or MemCache?"): one structure,
+#: three personalities, selected by configuration instead of forked
+#: designs.
+TIER_MODES = ("disabled", "cache", "flat", "hybrid")
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """A die-stacked DRAM tier between the LLC and the MDA memory.
+
+    Modes (see ``docs/DESIGN.md``, "Die-stacked tier"):
+
+    * ``disabled`` — the LLC talks straight to the MDA memory (the
+      paper's baseline hierarchy; the default).
+    * ``cache`` — a tag-in-DRAM set-associative cache of oriented
+      lines.  Tags are co-located with data in the DRAM row (TDRAM,
+      Babaie et al.), so one row activation resolves tag *and* data:
+      a hit costs exactly the stacked-DRAM access, a miss pays the
+      same probe before going below.
+    * ``flat`` — an addressable fast region absorbing the hottest
+      address range (the first ``size_bytes`` of the tile space);
+      everything else passes through to MDA memory untouched.
+    * ``hybrid`` — ``cache_fraction`` of the capacity runs as cache
+      ways, the remainder as flat memory (a configurable MemCache
+      split).
+
+    With ``rbla`` on, cache installs follow the row-buffer-locality-
+    aware policy of Meza et al.: a miss whose slow-side access would
+    have been an open-buffer hit is *not* installed (MDA serves it
+    cheaply anyway), while lines from buffer-conflicting regions
+    install once the region has conflicted ``rbla_threshold`` times.
+
+    Attributes:
+        mode: one of :data:`TIER_MODES`.
+        size_bytes: total tier capacity.  Cache/hybrid capacity must
+            be a whole number of ways (``assoc * 64`` bytes); flat
+            capacity is tile-granular (512 bytes).  0 with mode
+            ``flat`` means "no fast range" and disables the tier.
+        assoc: cache-mode set associativity (in lines).
+        row_bytes: stacked-DRAM row size (the open-row granularity).
+        banks: stacked-DRAM bank count.
+        activate_cycles: row activation (tag+data, TDRAM folded).
+        access_cycles: open-row read to critical word.
+        write_cycles: open-row write.
+        cache_fraction: hybrid-mode share of capacity run as cache
+            ways (1.0 makes hybrid identical to ``cache`` mode).
+        rbla: enable the Meza-style install policy.
+        rbla_threshold: slow-side row conflicts a region accumulates
+            before its lines start installing.
+    """
+
+    mode: str = "disabled"
+    size_bytes: int = 0
+    assoc: int = 8
+    row_bytes: int = 2048
+    banks: int = 8
+    activate_cycles: int = 24
+    access_cycles: int = 12
+    write_cycles: int = 18
+    cache_fraction: float = 0.5
+    rbla: bool = True
+    rbla_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.mode in TIER_MODES,
+                 f"tier mode must be one of {TIER_MODES}, "
+                 f"got {self.mode!r}")
+        _require(self.size_bytes >= 0, "tier size_bytes must be >= 0")
+        _require(self.assoc >= 1, "tier assoc must be >= 1")
+        _require(_is_power_of_two(self.row_bytes)
+                 and self.row_bytes >= LINE_BYTES,
+                 f"tier row_bytes must be a power of two >= "
+                 f"{LINE_BYTES}")
+        _require(_is_power_of_two(self.banks),
+                 "tier banks must be a power of two")
+        for label in ("activate_cycles", "access_cycles",
+                      "write_cycles"):
+            _require(getattr(self, label) >= 1,
+                     f"tier {label} must be >= 1")
+        _require(0.0 <= self.cache_fraction <= 1.0,
+                 "tier cache_fraction must be in [0, 1]")
+        _require(self.rbla_threshold >= 1,
+                 "tier rbla_threshold must be >= 1")
+        way_bytes = self.assoc * LINE_BYTES
+        if self.mode in ("cache", "hybrid"):
+            _require(self.size_bytes > 0,
+                     f"tier mode {self.mode!r} needs size_bytes > 0")
+            _require(self.size_bytes % way_bytes == 0,
+                     f"tier size must be a multiple of one way "
+                     f"({way_bytes} bytes)")
+        if self.mode == "flat":
+            _require(self.size_bytes % TILE_BYTES == 0,
+                     f"tier flat size must be a multiple of "
+                     f"{TILE_BYTES} bytes")
+
+    @property
+    def active(self) -> bool:
+        """Whether a tier component exists at all.
+
+        ``flat`` with zero capacity is *identical* to ``disabled`` —
+        no tier object, no stat groups, bit-identical runs.
+        """
+        return self.mode != "disabled" and self.size_bytes > 0
+
+    @property
+    def cache_bytes(self) -> int:
+        """Capacity run as cache ways (mode-resolved)."""
+        if self.mode == "cache":
+            return self.size_bytes
+        if self.mode == "hybrid":
+            way_bytes = self.assoc * LINE_BYTES
+            ways = int(self.size_bytes * self.cache_fraction) \
+                // way_bytes
+            return ways * way_bytes
+        return 0
+
+    @property
+    def flat_bytes(self) -> int:
+        """Capacity run as flat addressable memory (mode-resolved)."""
+        if self.mode == "flat":
+            return self.size_bytes
+        if self.mode == "hybrid":
+            return self.size_bytes - self.cache_bytes
+        return 0
+
+    @property
+    def taxonomy(self) -> str:
+        """Tier taxonomy tag, e.g. ``+DC$`` (see ``describe()``)."""
+        return {"cache": "+DC$", "flat": "+DFlat",
+                "hybrid": "+DC$/Flat"}.get(self.mode, "")
+
+
 @dataclass(frozen=True)
 class CpuConfig:
     """Trace-driven CPU timing model.
@@ -242,6 +375,7 @@ class SystemConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     cpu: CpuConfig = field(default_factory=CpuConfig)
     name: str = "system"
+    tier: TierConfig = field(default_factory=TierConfig)
 
     def __post_init__(self) -> None:
         _require(len(self.levels) >= 1, "need at least one cache level")
@@ -265,8 +399,10 @@ class SystemConfig:
         return self.levels[0].logical_dims
 
     def describe(self) -> str:
-        """One-line summary, e.g. "1P2L/1P2L/2P2L + MDA memory"."""
+        """One-line summary, e.g. "1P2L/1P2L/2P2L +DC$ + MDA"."""
         chain = "/".join(level.taxonomy for level in self.levels)
+        if self.tier.active:
+            return f"{self.name}: {chain} {self.tier.taxonomy} + MDA"
         return f"{self.name}: {chain}"
 
 
@@ -282,18 +418,18 @@ DEFAULT_MLP_WINDOW = CpuConfig().mlp_window
 # __post_init__ checks above.
 
 #: Override targets: dotted-path prefix -> SystemConfig attribute.
-#: ``llc`` addresses the last cache level; ``cpu`` and ``memory`` their
-#: sub-configs.  Structural fields (the level stack itself) are not
-#: overridable — they are what the design name selects.
-OVERRIDE_SCOPES = ("cpu", "memory", "llc")
+#: ``llc`` addresses the last cache level; ``cpu``, ``memory``, and
+#: ``tier`` their sub-configs.  Structural fields (the level stack
+#: itself) are not overridable — they are what the design name selects.
+OVERRIDE_SCOPES = ("cpu", "memory", "llc", "tier")
 
 #: Fields that cannot be overridden even inside a valid scope (they
 #: change identity, not behavior).
 _OVERRIDE_BLOCKED = frozenset({"name"})
 
 
-def _override_one(obj, field_name: str, value):
-    """``replace(obj, field=value)`` with schema checking."""
+def _check_override(obj, field_name: str, value) -> None:
+    """Schema check for one override pair against its target config."""
     if field_name in _OVERRIDE_BLOCKED or field_name.startswith("_"):
         raise ConfigError(f"field {field_name!r} is not overridable")
     fields = {f.name for f in obj.__dataclass_fields__.values()}
@@ -304,7 +440,6 @@ def _override_one(obj, field_name: str, value):
         raise ConfigError(
             f"override value for {field_name!r} must be a scalar, "
             f"got {type(value).__name__}")
-    return replace(obj, **{field_name: value})
 
 
 def apply_overrides(system: "SystemConfig", overrides) -> "SystemConfig":
@@ -313,13 +448,19 @@ def apply_overrides(system: "SystemConfig", overrides) -> "SystemConfig":
     ``overrides`` maps ``"scope.field"`` (scope in
     :data:`OVERRIDE_SCOPES`) to a scalar value, e.g.
     ``{"cpu.mlp_window": 8, "memory.sub_buffers": 4,
-    "llc.mshr_entries": 32}``.  Every resulting config re-runs its
-    ``__post_init__`` validation; any malformed path, unknown field, or
-    invalid value raises :class:`ConfigError`.
+    "llc.mshr_entries": 32}``.  Overrides within one scope apply
+    atomically — interdependent fields such as ``tier.mode`` and
+    ``tier.size_bytes`` validate together, not one replace at a time.
+    Every resulting config re-runs its ``__post_init__`` validation;
+    any malformed path, unknown field, or invalid value raises
+    :class:`ConfigError`.
     """
     if not overrides:
         return system
-    cpu, memory, levels = system.cpu, system.memory, list(system.levels)
+    targets = {"cpu": system.cpu, "memory": system.memory,
+               "llc": system.levels[-1], "tier": system.tier}
+    staged: Dict[str, Dict[str, object]] = \
+        {scope: {} for scope in OVERRIDE_SCOPES}
     for path in sorted(overrides):
         value = overrides[path]
         scope, dot, field_name = str(path).partition(".")
@@ -327,14 +468,19 @@ def apply_overrides(system: "SystemConfig", overrides) -> "SystemConfig":
             raise ConfigError(
                 f"override path {path!r} must be 'scope.field' with "
                 f"scope in {OVERRIDE_SCOPES}")
-        if scope == "cpu":
-            cpu = _override_one(cpu, field_name, value)
-        elif scope == "memory":
-            memory = _override_one(memory, field_name, value)
-        elif scope == "llc":
-            levels[-1] = _override_one(levels[-1], field_name, value)
-        else:
+        if scope not in staged:
             raise ConfigError(
                 f"unknown override scope {scope!r}; expected one of "
                 f"{OVERRIDE_SCOPES}")
-    return replace(system, cpu=cpu, memory=memory, levels=levels)
+        _check_override(targets[scope], field_name, value)
+        staged[scope][field_name] = value
+
+    def _apply(scope: str):
+        changes = staged[scope]
+        return replace(targets[scope], **changes) if changes \
+            else targets[scope]
+
+    levels = list(system.levels)
+    levels[-1] = _apply("llc")
+    return replace(system, cpu=_apply("cpu"), memory=_apply("memory"),
+                   levels=levels, tier=_apply("tier"))

@@ -136,10 +136,15 @@ def run_multiprogrammed(system: SystemConfig,
     stats = StatRegistry()
     memory = MdaMemory(system.memory, stats)
     port = MemoryPort(memory, stats)
+    below = port
+    if system.tier.active:
+        from ..tier import DieStackedTier
+        below = DieStackedTier(system.tier, stats, memory, port,
+                               len(system.levels) + 1)
     llc_cfg = system.levels[-1]
     llc = build_cache_level(llc_cfg, len(system.levels), stats,
                             replacement)
-    llc.connect(port)
+    llc.connect(below)
 
     cores: List[_Core] = []
     base_tile = 0

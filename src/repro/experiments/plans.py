@@ -29,7 +29,8 @@ from ..common.errors import (
 from ..core.simulator import trace_cache_info
 from ..sw.tracestore import TRACECACHE_DIRNAME
 from ..workloads.registry import workload_names
-from . import faults, fig11, fig12, fig13, fig15, fig16, fig17
+from . import faults, fig11, fig12, fig13, fig15, fig16, fig17, \
+    tier_modes
 from .runner import RUNCACHE_DIRNAME, ExperimentRunner, RunKey
 from .supervisor import RetryPolicy, RunJournal, Supervisor
 
@@ -122,6 +123,14 @@ def plan_energy(workloads: Optional[List[str]] = None,
     return plan_fig11(workloads, size, llc_mb)
 
 
+def plan_tier_modes(workloads: Optional[List[str]] = None,
+                    size: str = "large",
+                    llc_mb: float = 1.0) -> List[RunKey]:
+    # Tier personalities ride on overrides; the plan mirrors the
+    # experiment's run loop exactly (see tier_modes.plan_tier_modes).
+    return tier_modes.plan_tier_modes(workloads, size, llc_mb)
+
+
 #: Experiments with a precomputable run plan.  Experiments absent here
 #: (table1, fig10, layout_mismatch, ...) drive the simulator directly
 #: with bespoke systems or layouts and run sequentially as before.
@@ -134,6 +143,7 @@ PLANNERS: Dict[str, Callable[[], List[RunKey]]] = {
     "fig16": plan_fig16,
     "fig17": plan_fig17,
     "energy": plan_energy,
+    "tier_modes": plan_tier_modes,
 }
 
 

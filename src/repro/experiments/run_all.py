@@ -55,6 +55,7 @@ from .runner import (
 )
 from .supervisor import RetryPolicy, RunJournal, Supervisor
 from .table1 import run_table1
+from .tier_modes import run_tier_modes
 
 
 def _experiments(runner: Optional[ExperimentRunner]) \
@@ -108,6 +109,14 @@ def _experiments(runner: Optional[ExperimentRunner]) \
             "avg_normalized_makespan_1p2l":
                 r.average_normalized("1P2L"),
             "avg_sub_buffer_gain": r.average_sub_buffer_gain()}),
+        "tier_modes": (lambda: run_tier_modes(runner), lambda r: {
+            "avg_normalized_cycles_tier_cache":
+                r.average_normalized("1P2L+DC$"),
+            "avg_normalized_cycles_tier_flat":
+                r.average_normalized("1P2L+DFlat"),
+            "avg_normalized_cycles_tier_hybrid":
+                r.average_normalized("1P2L+DC$/Flat"),
+            "tier_cache_hit_rate": r.tier_hit_rate("1P2L+DC$")}),
     }
 
 
@@ -136,8 +145,9 @@ def coverage_report(names: Optional[Tuple[str, ...]] = None) \
 
     Collapses the selected experiments' run plans to the unique
     configurations that decide dispatch (design, memory variant,
-    resident mapping, sampled or not — workloads and LLC sizes share a
-    hierarchy shape) and classifies each one.  This is the
+    resident mapping, sampled or not, die-stacked tier mode —
+    workloads and LLC sizes share a hierarchy shape) and classifies
+    each one.  This is the
     ``run_all --dry-run`` payload; ``benchmarks/check_kernel_coverage``
     diffs it against a committed baseline so a config silently falling
     off the fast paths fails CI.
@@ -150,6 +160,11 @@ def coverage_report(names: Optional[Tuple[str, ...]] = None) \
         label = (f"{key.design}|mem={key.memory}"
                  f"|resident={int(key.resident)}"
                  f"|sampled={int(bool(key.sample_every))}")
+        tier_mode = dict(key.overrides).get("tier.mode")
+        if tier_mode:
+            # Tier-enabled points classify separately: the gate must
+            # see that adding the tier did not de-kernelize the config.
+            label += f"|tier={tier_mode}"
         if label not in report:
             report[label] = dispatch_for_key(key)
     return dict(sorted(report.items()))

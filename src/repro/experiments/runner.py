@@ -55,8 +55,11 @@ FAST_MEMORY_FACTOR = 1.6
 #: Bump when the on-disk payload layout changes; old entries become
 #: silent misses rather than unpickling hazards.  v2: per-request
 #: latency histogram counters (``cpu.lat_hist_b*``) and the kernelized
-#: replay path's always-present counter cells joined the stats.
-CACHE_FORMAT_VERSION = 2
+#: replay path's always-present counter cells joined the stats.  v3:
+#: ``SystemConfig`` grew the die-stacked ``tier`` field — pre-tier
+#: entries (whose fingerprints lack it) can never collide with
+#: tier-enabled runs.
+CACHE_FORMAT_VERSION = 3
 
 #: Default location of the persistent run cache, relative to an
 #: experiment output directory.
@@ -583,6 +586,15 @@ class ExperimentRunner:
     @property
     def jobs(self) -> int:
         return self._jobs
+
+    @property
+    def shards(self) -> int:
+        """Default epoch count :meth:`run` stamps on built keys.
+
+        Experiments that construct override-carrying keys by hand
+        (``run`` cannot express overrides) mirror this so their keys
+        land on the same memo entries a prefetched plan produced."""
+        return self._shards
 
     @property
     def run_cache(self) -> Optional[RunCache]:

@@ -68,6 +68,23 @@ class MemoryController:
     def decoder(self) -> AddressDecoder:
         return self._decoder
 
+    def buffer_state(self, line_id: int) -> Tuple[Tuple[int, int, int],
+                                                  bool]:
+        """Read-only locality probe: ``(region_key, would_hit)``.
+
+        ``region_key`` identifies the (bank, orientation, buffer) a
+        line maps to; ``would_hit`` is True when an access issued now
+        would be a buffer hit.  The RBLA install policy of the
+        die-stacked tier (Meza et al.) consults this without touching
+        bank state — probing never opens or closes a buffer.
+        """
+        decoded = self._decoder.decode_line(line_id)
+        bank_index = self._decoder.bank_key(decoded)
+        hit = self._banks[bank_index].would_hit(decoded.orientation,
+                                                decoded.buffer_key)
+        return ((bank_index, int(decoded.orientation),
+                 decoded.buffer_key), hit)
+
     def read_line(self, line_id: int, now: int) -> int:
         """Service a line read; returns critical-word completion time."""
         decoded = self._decoder.decode_line(line_id)

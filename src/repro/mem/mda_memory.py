@@ -36,6 +36,14 @@ class MdaMemory:
     def controller(self) -> MemoryController:
         return self._controller
 
+    def buffer_state(self, line_id: int):
+        """``(region_key, would_hit)`` locality probe (read-only).
+
+        See :meth:`MemoryController.buffer_state`; used by the
+        die-stacked tier's RBLA install policy.
+        """
+        return self._controller.buffer_state(line_id)
+
     def read_line(self, line_id: int, now: int) -> int:
         """Fetch an oriented line; returns critical-word-ready time."""
         self._check_orientation(line_id)

@@ -1,0 +1,9 @@
+"""Die-stacked tier between the LLC and the MDA main memory.
+
+See :mod:`repro.tier.stacked` for the model and ``docs/DESIGN.md``
+("Die-stacked tier") for the architecture discussion.
+"""
+
+from .stacked import DieStackedTier
+
+__all__ = ["DieStackedTier"]

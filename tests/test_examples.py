@@ -13,6 +13,7 @@ EXAMPLES = {
     "energy_report": "memory-system energy",
     "custom_hierarchy": "dataclass knob",
     "multiprogram_colocation": "sub-row buffers",
+    "tier_sweep": "tier service for",
 }
 
 

@@ -32,7 +32,8 @@ class TestRunAll:
         expected = {"table1", "fig10", "fig11", "fig12", "fig13",
                     "fig14", "fig15", "fig16", "fig17",
                     "layout_mismatch", "future_tiling", "energy",
-                    "dynamic_orientation", "multiprogram"}
+                    "dynamic_orientation", "multiprogram",
+                    "tier_modes"}
         assert names == expected
 
 

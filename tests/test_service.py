@@ -352,6 +352,45 @@ class TestServer:
         assert bad["status"] == 400
         assert "unknown design" in bad["error"]
 
+    def test_bad_tier_override_round_trips_as_400(self, tmp_path):
+        """A malformed tier override is a client error, not a crash:
+        the unknown-field and invalid-pair cases both come back 400
+        while a valid tier point in the same batch still serves."""
+        async def scenario(server, client):
+            return await client.simulate_batch([
+                {"design": "1P2L", "workload": "sobel",
+                 "overrides": {"tier.mode": "flat",
+                               "tier.size_bytes": 1 << 20}},
+                {"design": "1P2L", "workload": "sobel",
+                 "overrides": {"tier.bogus": 1}},
+                {"design": "1P2L", "workload": "sobel",
+                 "overrides": {"tier.mode": "cache"}},
+            ])
+        good, unknown, invalid = _with_server(tmp_path, scenario)
+        assert good["cycles"] > 0
+        assert unknown["status"] == 400
+        assert "unknown field" in unknown["error"]
+        assert invalid["status"] == 400
+        assert "size_bytes" in invalid["error"]
+
+    def test_served_tier_run_bit_identical_to_direct(self, tmp_path):
+        overrides = {"tier.mode": "hybrid",
+                     "tier.size_bytes": 2 << 20,
+                     "tier.cache_fraction": 0.5}
+        key = RunKey("1P2L", "sobel", "small", 1.0, False, "default",
+                     0, tuple(sorted(overrides.items())))
+        from repro.experiments.runner import simulate_run_key
+        reference = simulate_run_key(key)
+
+        async def scenario(server, client):
+            return await client.simulate("1P2L", "sobel", stats=True,
+                                         overrides=overrides)
+
+        served = _with_server(tmp_path, scenario)
+        assert served["cycles"] == reference.cycles
+        assert served["stats"] == reference.stats.flat()
+        assert served["stats"].get("tier.fetches", 0) > 0
+
     def test_drain_rejects_new_work_and_journals(self, tmp_path):
         async def scenario(server, client):
             await client.simulate("1P2L", "sobel")
